@@ -1,0 +1,428 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (regenerating the experiment at Quick
+// scale), plus micro-benchmarks of the monitor's hot path (per-frame
+// inference latency, the "computation time" column of Table VIII) and
+// ablation benches for the design choices called out in DESIGN.md §5.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/nn"
+	"repro/internal/simulator"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/vision"
+)
+
+func benchOpts(seed int64) experiments.Options {
+	return experiments.Options{Scale: experiments.Quick, Seed: seed}
+}
+
+// ---- One benchmark per table / figure ----
+
+func BenchmarkFig3MarkovChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5JSDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3FaultInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4GestureClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable4(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5SuturingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6BlockTransferAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7PerGestureAUC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable7(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8OverallPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable8(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable9PerGestureTimeliness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable9(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9ROCSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig9(benchOpts(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Hot path: per-frame online inference latency ----
+
+// trainedMonitor builds a small trained pipeline once for latency benches.
+func trainedMonitor(b *testing.B) (*core.Monitor, *kinematics.Trajectory) {
+	b.Helper()
+	demos, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 99,
+		NumDemos: 8, NumTrials: 2, Subjects: 2, DurationScale: 0.3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fold := dataset.LOSO(synth.Trajectories(demos))[0]
+	gcCfg := core.DefaultGestureClassifierConfig()
+	gcCfg.Epochs = 2
+	gcCfg.TrainStride = 6
+	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elCfg := core.DefaultErrorDetectorConfig()
+	elCfg.Epochs = 2
+	elCfg.TrainStride = 6
+	el, err := core.TrainErrorLibrary(fold.Train, elCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewMonitor(gc, el), fold.Test[0]
+}
+
+// BenchmarkMonitorPerFrame measures the end-to-end per-frame streaming
+// latency (Table VIII "computation time").
+func BenchmarkMonitorPerFrame(b *testing.B) {
+	mon, traj := trainedMonitor(b)
+	stream, err := mon.NewStream(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Push(&traj.Frames[i%traj.Len()])
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLSTM(rng, 38, 64)
+	x := make([][]float64, 12)
+	for i := range x {
+		x[i] = make([]float64, 38)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, false)
+	}
+}
+
+func BenchmarkConv1DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := nn.NewConv1D(rng, 26, 32, 3)
+	x := make([][]float64, 10)
+	for i := range x {
+		x[i] = make([]float64, 26)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x, false)
+	}
+}
+
+func BenchmarkSimulatorStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := simulator.DefaultCommandConfig()
+	cfg.Hz = 1000
+	commands := simulator.GenerateCommands(rng, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := simulator.NewWorld(rng)
+		w.Run(commands, 0)
+	}
+}
+
+func BenchmarkSSIM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	w := simulator.NewWorld(rng)
+	im1 := w.Render()
+	im2 := w.Render()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vision.SSIM(im1, im2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTW(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func() []vision.Point2 {
+		out := make([]vision.Point2, 300)
+		for i := range out {
+			out[i] = vision.Point2{X: rng.Float64() * 80, Y: rng.Float64() * 60}
+		}
+		return out
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vision.DTW(a, c)
+	}
+}
+
+func BenchmarkSynthGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := synth.Generate(synth.Config{
+			Task: gesture.Suturing, Hz: 30, Seed: int64(i),
+			NumDemos: 4, NumTrials: 2, Subjects: 2, DurationScale: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+// ablationData builds one shared fold for the ablation benches.
+func ablationData(b *testing.B) dataset.LOSOSplit {
+	b.Helper()
+	demos, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 55,
+		NumDemos: 10, NumTrials: 2, Subjects: 3, DurationScale: 0.35,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dataset.LOSO(synth.Trajectories(demos))[0]
+}
+
+func benchTrainEval(b *testing.B, fold dataset.LOSOSplit, cfg core.ErrorDetectorConfig, specific bool) {
+	b.Helper()
+	cfg.Epochs = 3
+	cfg.TrainStride = 4
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		var lib *core.ErrorLibrary
+		var err error
+		if specific {
+			lib, err = core.TrainErrorLibrary(fold.Train, cfg)
+		} else {
+			lib, err = core.TrainMonolithicDetector(fold.Train, cfg)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, auc, err := lib.OverallEval(fold.Test, 0.5); err != nil {
+			b.Fatal(err)
+		} else {
+			b.ReportMetric(auc, "AUC")
+		}
+	}
+}
+
+// BenchmarkAblationContext compares gesture-specific vs monolithic
+// detection (the paper's headline ablation).
+func BenchmarkAblationContext(b *testing.B) {
+	fold := ablationData(b)
+	b.Run("gesture-specific", func(b *testing.B) {
+		benchTrainEval(b, fold, core.DefaultErrorDetectorConfig(), true)
+	})
+	b.Run("monolithic", func(b *testing.B) {
+		benchTrainEval(b, fold, core.DefaultErrorDetectorConfig(), false)
+	})
+}
+
+// BenchmarkAblationArch compares 1D-CNN vs LSTM vs MLP error heads.
+func BenchmarkAblationArch(b *testing.B) {
+	fold := ablationData(b)
+	for _, arch := range []core.ErrorArch{core.ArchConv, core.ArchLSTM, core.ArchMLP} {
+		b.Run(arch.String(), func(b *testing.B) {
+			cfg := core.DefaultErrorDetectorConfig()
+			cfg.Arch = arch
+			if arch == core.ArchLSTM {
+				cfg.Units = cfg.Units[:1]
+			}
+			benchTrainEval(b, fold, cfg, true)
+		})
+	}
+}
+
+// BenchmarkAblationFeatures compares feature subsets (All vs C,R,G vs C,G).
+func BenchmarkAblationFeatures(b *testing.B) {
+	fold := ablationData(b)
+	for _, fsSet := range []kinematics.FeatureSet{
+		kinematics.AllFeatures(), kinematics.CRG(), kinematics.CG(),
+	} {
+		b.Run(fsSet.String(), func(b *testing.B) {
+			cfg := core.DefaultErrorDetectorConfig()
+			cfg.Features = fsSet
+			benchTrainEval(b, fold, cfg, true)
+		})
+	}
+}
+
+// BenchmarkAblationWindow compares error-stage window sizes.
+func BenchmarkAblationWindow(b *testing.B) {
+	fold := ablationData(b)
+	for _, w := range []int{3, 5, 10} {
+		b.Run(windowName(w), func(b *testing.B) {
+			cfg := core.DefaultErrorDetectorConfig()
+			cfg.Window = w
+			benchTrainEval(b, fold, cfg, true)
+		})
+	}
+}
+
+func windowName(w int) string { return "w" + strconv.Itoa(w) }
+
+// BenchmarkAblationLookahead compares the base context-specific pipeline
+// against the boundary-lookahead extension (DESIGN.md §5b).
+func BenchmarkAblationLookahead(b *testing.B) {
+	fold := ablationData(b)
+	gcCfg := core.DefaultGestureClassifierConfig()
+	gcCfg.Epochs = 2
+	gcCfg.TrainStride = 6
+	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elCfg := core.DefaultErrorDetectorConfig()
+	elCfg.Epochs = 3
+	elCfg.TrainStride = 4
+	el, err := core.TrainErrorLibrary(fold.Train, elCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := core.NewMonitor(gc, el)
+	var seqs [][]int
+	for _, tr := range fold.Train {
+		seqs = append(seqs, tr.GestureSequence())
+	}
+	chain, err := gesture.FitMarkovChain(seqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := mon.Evaluate(fold.Test, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.AUC, "AUC")
+		}
+	})
+	b.Run("lookahead", func(b *testing.B) {
+		la := core.NewLookaheadMonitor(mon, chain)
+		for i := 0; i < b.N; i++ {
+			rep, err := la.Evaluate(fold.Test, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.AUC, "AUC")
+		}
+	})
+}
+
+// BenchmarkAblationEnvelope measures the static-envelope baseline (global
+// vs per-gesture thresholds) against the same fold.
+func BenchmarkAblationEnvelope(b *testing.B) {
+	fold := ablationData(b)
+	for _, perGesture := range []bool{false, true} {
+		name := "global"
+		if perGesture {
+			name = "per-gesture"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := baseline.NewStaticEnvelope(kinematics.CRG(), perGesture)
+				if err := env.Fit(fold.Train); err != nil {
+					b.Fatal(err)
+				}
+				var scores []float64
+				var labels []bool
+				for _, tr := range fold.Test {
+					s, err := env.ScoreTrajectory(tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					scores = append(scores, s...)
+					for _, u := range tr.Unsafe {
+						labels = append(labels, u)
+					}
+				}
+				b.ReportMetric(stats.AUC(scores, labels), "AUC")
+			}
+		})
+	}
+}

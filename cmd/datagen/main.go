@@ -1,0 +1,142 @@
+// Command datagen generates the synthetic datasets used by the
+// reproduction and writes them to disk as CSV (kinematics + labels, one
+// file per demonstration) plus a JSON manifest.
+//
+// Usage:
+//
+//	datagen -task suturing -n 39 -out ./data/suturing
+//	datagen -task blocktransfer -n 20 -hz 1000 -out ./data/bt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+// manifest describes a generated dataset.
+type manifest struct {
+	Task        string   `json:"task"`
+	Hz          float64  `json:"hz"`
+	Seed        int64    `json:"seed"`
+	NumDemos    int      `json:"numDemos"`
+	Files       []string `json:"files"`
+	TotalFrames int      `json:"totalFrames"`
+	Erroneous   int      `json:"erroneousGestures"`
+	Gestures    int      `json:"totalGestures"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	taskName := fs.String("task", "suturing", "task: suturing, knottying, needlepassing, blocktransfer")
+	n := fs.Int("n", 39, "number of demonstrations")
+	hz := fs.Float64("hz", 30, "sampling rate")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	out := fs.String("out", "data", "output directory")
+	errorRate := fs.Float64("errors", 0, "per-gesture error probability override (0 = skill-based)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	task, err := parseTask(*taskName)
+	if err != nil {
+		return err
+	}
+	demos, err := synth.Generate(synth.Config{
+		Task: task, Hz: *hz, Seed: *seed,
+		NumDemos: *n, NumTrials: 5, Subjects: 8,
+		DurationScale: 1, ErrorRate: *errorRate,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	m := manifest{Task: task.String(), Hz: *hz, Seed: *seed, NumDemos: len(demos)}
+	for i, d := range demos {
+		name := fmt.Sprintf("demo_%03d.csv", i)
+		if err := writeCSV(filepath.Join(*out, name), d.Traj); err != nil {
+			return err
+		}
+		m.Files = append(m.Files, name)
+		m.TotalFrames += d.Traj.Len()
+	}
+	m.Gestures, m.Erroneous = synth.CountErroneousGestures(demos)
+
+	mf, err := os.Create(filepath.Join(*out, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d demos (%d frames, %d/%d erroneous gestures) to %s\n",
+		m.NumDemos, m.TotalFrames, m.Erroneous, m.Gestures, *out)
+	return nil
+}
+
+func parseTask(name string) (gesture.Task, error) {
+	switch strings.ToLower(name) {
+	case "suturing":
+		return gesture.Suturing, nil
+	case "knottying":
+		return gesture.KnotTying, nil
+	case "needlepassing":
+		return gesture.NeedlePassing, nil
+	case "blocktransfer":
+		return gesture.BlockTransfer, nil
+	default:
+		return 0, fmt.Errorf("unknown task %q", name)
+	}
+}
+
+// writeCSV writes one trajectory: header, then one row per frame with the
+// 38 kinematic features, the gesture label and the unsafe flag.
+func writeCSV(path string, tr *kinematics.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var b strings.Builder
+	for i := 0; i < kinematics.FrameSize; i++ {
+		fmt.Fprintf(&b, "f%d,", i)
+	}
+	b.WriteString("gesture,unsafe\n")
+	for i := range tr.Frames {
+		for _, v := range tr.Frames[i] {
+			b.WriteString(strconv.FormatFloat(v, 'g', 8, 64))
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(tr.Gestures[i]))
+		b.WriteByte(',')
+		if tr.Unsafe[i] {
+			b.WriteString("1\n")
+		} else {
+			b.WriteString("0\n")
+		}
+	}
+	_, err = f.WriteString(b.String())
+	return err
+}

@@ -1,0 +1,49 @@
+// Command faultinject runs the Table III software fault-injection campaign
+// against the Block Transfer simulator.
+//
+// Usage:
+//
+//	faultinject                  # full 651-injection campaign
+//	faultinject -hz 250 -per 4   # faster reduced campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultinject", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	hz := fs.Float64("hz", 1000, "simulator rate (frames/second)")
+	demos := fs.Int("demos", 20, "number of fault-free demonstrations to replay")
+	per := fs.Int("per", 0, "override injections per bucket (0 = Table III counts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	grid := faultinject.Table3Grid()
+	if *per > 0 {
+		for i := range grid {
+			grid[i].Count = *per
+		}
+	}
+	res, err := faultinject.RunCampaign(grid, faultinject.CampaignConfig{
+		Seed: *seed, NumDemos: *demos, Hz: *hz,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.RenderTable())
+	return nil
+}

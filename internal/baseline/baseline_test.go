@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/synth"
+)
+
+// labeledSequences converts synthetic demos into per-frame feature/label
+// sequences for the sequence baselines.
+func labeledSequences(t *testing.T, n int, seed int64) (xs [][][]float64, ys [][]int) {
+	t.Helper()
+	demos, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: seed,
+		NumDemos: n, NumTrials: 2, Subjects: 3, DurationScale: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := kinematics.CRG()
+	for _, d := range demos {
+		xs = append(xs, feat.Matrix(d.Traj))
+		ys = append(ys, d.Traj.Gestures)
+	}
+	return xs, ys
+}
+
+func TestSkipChainLearnsGestures(t *testing.T) {
+	xs, ys := labeledSequences(t, 10, 21)
+	sc := NewSkipChain(10)
+	if err := sc.Fit(xs[:8], ys[:8]); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sc.Accuracy(xs[8:], ys[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("skip-chain accuracy: %.3f", acc)
+	if acc < 0.5 {
+		t.Errorf("accuracy %.3f below 0.5 (chance ~0.1)", acc)
+	}
+}
+
+func TestSkipChainPredictBeforeFit(t *testing.T) {
+	sc := NewSkipChain(5)
+	if _, err := sc.Predict([][]float64{{1, 2}}); err == nil {
+		t.Error("expected ErrNotFitted")
+	}
+}
+
+func TestSkipChainRejectsBadData(t *testing.T) {
+	sc := NewSkipChain(5)
+	if err := sc.Fit(nil, nil); err == nil {
+		t.Error("expected error on empty data")
+	}
+	if err := sc.Fit([][][]float64{{{1}}}, [][]int{{1, 2}}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestSkipChainViterbiSmoothness(t *testing.T) {
+	// With a strong self-bias the decoded path must have far fewer
+	// segments than frames.
+	xs, ys := labeledSequences(t, 6, 22)
+	sc := NewSkipChain(10)
+	if err := sc.Fit(xs[:5], ys[:5]); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sc.Predict(xs[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := 0
+	for i := 1; i < len(pred); i++ {
+		if pred[i] != pred[i-1] {
+			switches++
+		}
+	}
+	if switches > len(pred)/4 {
+		t.Errorf("decoded path switches %d times over %d frames: not smooth", switches, len(pred))
+	}
+}
+
+func TestSDSDLLearnsGestures(t *testing.T) {
+	xs, ys := labeledSequences(t, 10, 23)
+	var frames [][]float64
+	var labels []int
+	for i := 0; i < 8; i++ {
+		frames = append(frames, xs[i]...)
+		labels = append(labels, ys[i]...)
+	}
+	var testFrames [][]float64
+	var testLabels []int
+	for i := 8; i < 10; i++ {
+		testFrames = append(testFrames, xs[i]...)
+		testLabels = append(testLabels, ys[i]...)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s := NewSDSDL(48)
+	if err := s.Fit(rng, frames, labels); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := s.Accuracy(testFrames, testLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SDSDL accuracy: %.3f", acc)
+	if acc < 0.4 {
+		t.Errorf("accuracy %.3f below 0.4 (chance ~0.1)", acc)
+	}
+}
+
+func TestSDSDLPredictBeforeFit(t *testing.T) {
+	s := NewSDSDL(8)
+	if _, err := s.Predict([]float64{1}); err == nil {
+		t.Error("expected ErrNotFitted")
+	}
+}
+
+func TestSDSDLEncodeSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSDSDL(16)
+	frames := make([][]float64, 100)
+	labels := make([]int, 100)
+	for i := range frames {
+		frames[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		labels[i] = i % 2
+	}
+	if err := s.Fit(rng, frames, labels); err != nil {
+		t.Fatal(err)
+	}
+	code := s.encode(frames[0])
+	nonzero := 0
+	for _, v := range code {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != s.Sparsity {
+		t.Errorf("code has %d nonzeros, want %d", nonzero, s.Sparsity)
+	}
+}
+
+func TestKMeansCentroidCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{float64(i % 5), float64(i % 3)}
+	}
+	cents := kmeans(rng, pts, 4, 10)
+	if len(cents) != 4 {
+		t.Fatalf("got %d centroids", len(cents))
+	}
+	// k > n clamps to n
+	cents = kmeans(rng, pts[:2], 10, 5)
+	if len(cents) != 2 {
+		t.Fatalf("got %d centroids for 2 points", len(cents))
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var pts [][]float64
+	for i := 0; i < 40; i++ {
+		pts = append(pts, []float64{rng.NormFloat64()*0.1 + 10, 0})
+		pts = append(pts, []float64{rng.NormFloat64()*0.1 - 10, 0})
+	}
+	cents := kmeans(rng, pts, 2, 20)
+	// one centroid near +10, one near -10
+	if !((cents[0][0] > 5 && cents[1][0] < -5) || (cents[1][0] > 5 && cents[0][0] < -5)) {
+		t.Errorf("centroids %v did not separate clusters", cents)
+	}
+}

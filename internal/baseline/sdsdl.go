@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// SDSDL is a dictionary-learning + linear-SVM gesture classifier standing
+// in for Sefati et al.'s Shared Discriminative Sparse Dictionary Learning
+// row of Table IV: a shared dictionary of kinematic atoms is learned by
+// k-means, frames are encoded by soft sparse assignment to their nearest
+// atoms, and one-vs-rest linear SVMs classify the codes.
+type SDSDL struct {
+	// Atoms is the dictionary size.
+	Atoms int
+	// Sparsity is the number of nearest atoms used per code.
+	Sparsity int
+	// Epochs and LR control the SVM's SGD training.
+	Epochs int
+	LR     float64
+	// Lambda is the SVM L2 regularization strength.
+	Lambda float64
+
+	dict    [][]float64
+	classes []int
+	// weights[ci] is the (Atoms+1)-dim hyperplane (bias last) for class i.
+	weights [][]float64
+	fitted  bool
+}
+
+// NewSDSDL constructs a classifier with the given dictionary size.
+func NewSDSDL(atoms int) *SDSDL {
+	if atoms <= 0 {
+		atoms = 64
+	}
+	return &SDSDL{Atoms: atoms, Sparsity: 4, Epochs: 6, LR: 0.05, Lambda: 1e-4}
+}
+
+// Fit learns the dictionary (k-means over frames) and the one-vs-rest
+// SVMs over sparse codes.
+func (s *SDSDL) Fit(rng *rand.Rand, frames [][]float64, labels []int) error {
+	if len(frames) == 0 || len(frames) != len(labels) {
+		return errors.New("baseline: bad training data")
+	}
+	s.dict = kmeans(rng, frames, s.Atoms, 12)
+
+	codes := make([][]float64, len(frames))
+	for i, f := range frames {
+		codes[i] = s.encode(f)
+	}
+
+	classSet := map[int]bool{}
+	for _, y := range labels {
+		classSet[y] = true
+	}
+	s.classes = s.classes[:0]
+	for c := range classSet {
+		s.classes = append(s.classes, c)
+	}
+	// deterministic order
+	for i := 0; i < len(s.classes); i++ {
+		for j := i + 1; j < len(s.classes); j++ {
+			if s.classes[j] < s.classes[i] {
+				s.classes[i], s.classes[j] = s.classes[j], s.classes[i]
+			}
+		}
+	}
+
+	dim := s.Atoms + 1
+	s.weights = make([][]float64, len(s.classes))
+	idx := rng.Perm(len(codes))
+	for ci, c := range s.classes {
+		w := make([]float64, dim)
+		lr := s.LR
+		for epoch := 0; epoch < s.Epochs; epoch++ {
+			for _, i := range idx {
+				y := -1.0
+				if labels[i] == c {
+					y = 1.0
+				}
+				margin := w[dim-1]
+				for j, v := range codes[i] {
+					margin += w[j] * v
+				}
+				// hinge-loss SGD with L2 regularization
+				for j := range w {
+					w[j] -= lr * s.Lambda * w[j]
+				}
+				if y*margin < 1 {
+					for j, v := range codes[i] {
+						w[j] += lr * y * v
+					}
+					w[dim-1] += lr * y
+				}
+			}
+			lr *= 0.8
+		}
+		s.weights[ci] = w
+	}
+	s.fitted = true
+	return nil
+}
+
+// encode produces the soft sparse code of a frame: similarity weights on
+// its Sparsity nearest dictionary atoms, zero elsewhere.
+func (s *SDSDL) encode(f []float64) []float64 {
+	code := make([]float64, s.Atoms)
+	type cand struct {
+		idx int
+		d   float64
+	}
+	best := make([]cand, 0, s.Sparsity)
+	for a, atom := range s.dict {
+		d := sqDist(f, atom)
+		if len(best) < s.Sparsity {
+			best = append(best, cand{a, d})
+			continue
+		}
+		worst := 0
+		for i := 1; i < len(best); i++ {
+			if best[i].d > best[worst].d {
+				worst = i
+			}
+		}
+		if d < best[worst].d {
+			best[worst] = cand{a, d}
+		}
+	}
+	for _, c := range best {
+		code[c.idx] = math.Exp(-c.d)
+	}
+	return code
+}
+
+// Predict classifies one frame.
+func (s *SDSDL) Predict(f []float64) (int, error) {
+	if !s.fitted {
+		return 0, ErrNotFitted
+	}
+	code := s.encode(f)
+	dim := s.Atoms + 1
+	best := math.Inf(-1)
+	bestC := s.classes[0]
+	for ci, c := range s.classes {
+		w := s.weights[ci]
+		margin := w[dim-1]
+		for j, v := range code {
+			margin += w[j] * v
+		}
+		if margin > best {
+			best, bestC = margin, c
+		}
+	}
+	return bestC, nil
+}
+
+// Accuracy computes frame-level accuracy.
+func (s *SDSDL) Accuracy(frames [][]float64, labels []int) (float64, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for i, f := range frames {
+		p, err := s.Predict(f)
+		if err != nil {
+			return 0, err
+		}
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(frames)), nil
+}
+
+// kmeans runs Lloyd's algorithm with k-means++-style greedy seeding.
+func kmeans(rng *rand.Rand, pts [][]float64, k, iters int) [][]float64 {
+	if len(pts) == 0 {
+		return nil
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+	dim := len(pts[0])
+	cents := make([][]float64, 0, k)
+	// seed: first random, then farthest-point
+	first := pts[rng.Intn(len(pts))]
+	c0 := make([]float64, dim)
+	copy(c0, first)
+	cents = append(cents, c0)
+	minD := make([]float64, len(pts))
+	for i := range pts {
+		minD[i] = sqDist(pts[i], c0)
+	}
+	for len(cents) < k {
+		bestI, bestD := 0, -1.0
+		for i, d := range minD {
+			if d > bestD {
+				bestI, bestD = i, d
+			}
+		}
+		c := make([]float64, dim)
+		copy(c, pts[bestI])
+		cents = append(cents, c)
+		for i := range pts {
+			if d := sqDist(pts[i], c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, len(pts))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range pts {
+			best, bestC := math.Inf(1), 0
+			for ci, c := range cents {
+				if d := sqDist(p, c); d < best {
+					best, bestC = d, ci
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]int, len(cents))
+		sums := make([][]float64, len(cents))
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, p := range pts {
+			ci := assign[i]
+			counts[ci]++
+			for j, v := range p {
+				sums[ci][j] += v
+			}
+		}
+		for ci := range cents {
+			if counts[ci] == 0 {
+				continue
+			}
+			for j := range cents[ci] {
+				cents[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+	}
+	return cents
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+)
+
+// LookaheadMonitor implements the paper's future-work suggestion that
+// "predicting the gesture boundary ahead of time could result in better
+// reaction time" (§VI): alongside the classifier's current context, it
+// pre-activates the error head of the *most likely next gesture* under the
+// task's Markov chain and takes the maximum unsafe score of the two.
+//
+// Early in a gesture the classifier often still reports the previous
+// context (negative jitter); the lookahead head covers that gap, trading a
+// controllable amount of false-positive rate for earlier detection.
+type LookaheadMonitor struct {
+	*Monitor
+	// Chain is the task grammar used to predict the next gesture.
+	Chain *gesture.MarkovChain
+	// Blend scales the lookahead head's score before the max (0..1];
+	// lower values make pre-activation more conservative.
+	Blend float64
+}
+
+// NewLookaheadMonitor wraps a trained monitor with boundary lookahead.
+func NewLookaheadMonitor(m *Monitor, chain *gesture.MarkovChain) *LookaheadMonitor {
+	return &LookaheadMonitor{Monitor: m, Chain: chain, Blend: 0.8}
+}
+
+// nextGesture returns the most probable successor of g under the chain,
+// or 0 when the chain has no outgoing transitions.
+func (lm *LookaheadMonitor) nextGesture(g int) int {
+	if lm.Chain == nil || g <= 0 || g > gesture.MaxGesture {
+		return 0
+	}
+	row := lm.Chain.Row(g)
+	best, bestP := 0, 0.0
+	for next, p := range row {
+		if next == gesture.StateEnd || next == gesture.StateStart {
+			continue
+		}
+		if p > bestP {
+			best, bestP = next, p
+		}
+	}
+	return best
+}
+
+// Run processes a trajectory with lookahead pre-activation. The returned
+// trace is frame-aligned with Monitor.Run's output.
+func (lm *LookaheadMonitor) Run(traj *kinematics.Trajectory) (*Trace, error) {
+	base, err := lm.Monitor.Run(traj)
+	if err != nil {
+		return nil, err
+	}
+	if !lm.Errors.GestureSpecific {
+		return base, nil // lookahead only applies to the context-aware library
+	}
+	cfg := lm.Errors.Config
+	feat := cfg.Features.Matrix(traj)
+	if lm.Errors.Standardizer != nil {
+		lm.Errors.Standardizer.TransformAll(feat)
+	}
+	blend := lm.Blend
+	if blend <= 0 {
+		blend = 0.8
+	}
+	out := &Trace{
+		GestureComputeNS: base.GestureComputeNS,
+		ErrorComputeNS:   base.ErrorComputeNS * 2, // two heads per frame
+		Verdicts:         make([]FrameVerdict, len(base.Verdicts)),
+	}
+	for i, v := range base.Verdicts {
+		next := lm.nextGesture(v.Gesture)
+		score := v.Score
+		if next != 0 && lm.Errors.PerGesture[next] != nil {
+			lo := i - cfg.Window + 1
+			if lo < 0 {
+				lo = 0
+			}
+			if s := blend * lm.Errors.Score(next, feat[lo:i+1]); s > score {
+				score = s
+			}
+		}
+		nv := FrameVerdict{
+			FrameIndex: v.FrameIndex,
+			Gesture:    v.Gesture,
+			Score:      score,
+			Unsafe:     score >= lm.Threshold,
+		}
+		out.Verdicts[i] = nv
+		if nv.Unsafe {
+			out.Alerts = append(out.Alerts, Alert{FrameIndex: i, Gesture: nv.Gesture, Score: score})
+		}
+	}
+	return out, nil
+}
+
+// Evaluate mirrors Monitor.Evaluate but routes through the lookahead Run.
+// It reuses the evaluator by temporarily materializing traces; metrics are
+// identical in definition to the base pipeline's.
+func (lm *LookaheadMonitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth) (*PipelineReport, error) {
+	// Wrap the base monitor in a shim whose Run applies lookahead.
+	shim := &Monitor{
+		Gestures:               lm.Gestures,
+		Errors:                 lm.Errors,
+		Threshold:              lm.Threshold,
+		UseGroundTruthGestures: lm.UseGroundTruthGestures,
+		runOverride: func(traj *kinematics.Trajectory) (*Trace, error) {
+			return lm.Run(traj)
+		},
+	}
+	return shim.Evaluate(trajs, truths)
+}

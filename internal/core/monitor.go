@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/kinematics"
+)
+
+// Alert is one unsafe-event detection raised by the online monitor.
+type Alert struct {
+	// FrameIndex is the kinematics frame at which the alert fired.
+	FrameIndex int
+	// Gesture is the inferred operational context at the alert instant.
+	Gesture int
+	// Score is the unsafe probability that crossed the threshold.
+	Score float64
+}
+
+// Monitor is the online context-aware safety monitor: it couples the
+// gesture classifier with the erroneous-gesture library and streams
+// per-frame verdicts.
+type Monitor struct {
+	Gestures *GestureClassifier
+	Errors   *ErrorLibrary
+	// Threshold is the unsafe-probability alert threshold.
+	Threshold float64
+	// UseGroundTruthGestures switches the pipeline into the paper's
+	// "perfect gesture boundaries" mode, where the operational context
+	// comes from annotations instead of the classifier.
+	UseGroundTruthGestures bool
+
+	// runOverride, when set, replaces Run during evaluation; it lets
+	// pipeline variants (e.g. LookaheadMonitor) reuse the evaluator.
+	runOverride func(*kinematics.Trajectory) (*Trace, error)
+}
+
+// NewMonitor builds a monitor from trained stages with the default 0.5
+// alert threshold.
+func NewMonitor(gc *GestureClassifier, el *ErrorLibrary) *Monitor {
+	return &Monitor{Gestures: gc, Errors: el, Threshold: 0.5}
+}
+
+// FrameVerdict is the monitor's output for one kinematics frame.
+type FrameVerdict struct {
+	FrameIndex int
+	Gesture    int
+	Score      float64
+	Unsafe     bool
+}
+
+// Trace is the monitor's full output over one trajectory.
+type Trace struct {
+	Verdicts []FrameVerdict
+	Alerts   []Alert
+	// GestureComputeNS and ErrorComputeNS are the mean per-frame
+	// inference times of the two stages in nanoseconds.
+	GestureComputeNS float64
+	ErrorComputeNS   float64
+}
+
+// ErrMonitorIncomplete is returned when a required stage is missing.
+var ErrMonitorIncomplete = errors.New("core: monitor missing a trained stage")
+
+// Scores returns the per-frame unsafe scores of a trace.
+func (tr *Trace) Scores() []float64 {
+	out := make([]float64, len(tr.Verdicts))
+	for i, v := range tr.Verdicts {
+		out[i] = v.Score
+	}
+	return out
+}
+
+// PredictedGestures returns the per-frame gesture context of a trace.
+func (tr *Trace) PredictedGestures() []int {
+	out := make([]int, len(tr.Verdicts))
+	for i, v := range tr.Verdicts {
+		out[i] = v.Gesture
+	}
+	return out
+}
+
+// Run processes a whole trajectory offline (windowed, stride 1), producing
+// the same verdict sequence the streaming path yields. It measures the
+// per-frame compute time of each stage, reported in Table VIII.
+func (m *Monitor) Run(traj *kinematics.Trajectory) (*Trace, error) {
+	if m.Errors == nil {
+		return nil, ErrMonitorIncomplete
+	}
+	useGT := m.UseGroundTruthGestures || !m.Errors.GestureSpecific
+	var gestures []int
+	var gestureNS float64
+	if useGT {
+		if len(traj.Gestures) != len(traj.Frames) {
+			return nil, errors.New("core: ground-truth gestures requested but trajectory is unlabeled")
+		}
+		gestures = traj.Gestures
+	} else {
+		if m.Gestures == nil {
+			return nil, ErrMonitorIncomplete
+		}
+		start := time.Now()
+		var err error
+		gestures, err = m.Gestures.PredictFrames(traj)
+		if err != nil {
+			return nil, err
+		}
+		gestureNS = float64(time.Since(start).Nanoseconds()) / float64(len(traj.Frames))
+	}
+
+	// Extract error-stage windows at stride 1.
+	cfg := m.Errors.Config
+	feat := cfg.Features.Matrix(traj)
+	if m.Errors.Standardizer != nil {
+		m.Errors.Standardizer.TransformAll(feat)
+	}
+
+	trace := &Trace{GestureComputeNS: gestureNS}
+	start := time.Now()
+	for end := range traj.Frames {
+		lo := end - cfg.Window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		g := 0
+		if m.Errors.GestureSpecific {
+			g = gestures[end]
+		} else {
+			g = -1
+		}
+		score := m.Errors.Score(g, feat[lo:end+1])
+		v := FrameVerdict{
+			FrameIndex: end,
+			Gesture:    gestures[end],
+			Score:      score,
+			Unsafe:     score >= m.Threshold,
+		}
+		trace.Verdicts = append(trace.Verdicts, v)
+		if v.Unsafe {
+			trace.Alerts = append(trace.Alerts, Alert{FrameIndex: end, Gesture: v.Gesture, Score: score})
+		}
+	}
+	trace.ErrorComputeNS = float64(time.Since(start).Nanoseconds()) / float64(len(traj.Frames))
+	return trace, nil
+}
+
+// Stream is the constant-latency online interface: feed one frame at a
+// time and receive a verdict. It maintains the sliding windows internally.
+type Stream struct {
+	m *Monitor
+	// ring buffers of standardized features for each stage
+	gestureBuf [][]float64
+	errorBuf   [][]float64
+	frameIdx   int
+	// groundTruth optionally supplies per-frame gesture labels for
+	// perfect-boundary streaming.
+	groundTruth []int
+}
+
+// NewStream creates a streaming session. groundTruth may be nil unless the
+// monitor is configured for perfect boundaries.
+func (m *Monitor) NewStream(groundTruth []int) (*Stream, error) {
+	if m.Errors == nil {
+		return nil, ErrMonitorIncomplete
+	}
+	if (m.UseGroundTruthGestures || !m.Errors.GestureSpecific) && m.Errors.GestureSpecific && groundTruth == nil {
+		return nil, errors.New("core: perfect-boundary streaming needs ground-truth labels")
+	}
+	if !m.UseGroundTruthGestures && m.Errors.GestureSpecific && m.Gestures == nil {
+		return nil, ErrMonitorIncomplete
+	}
+	return &Stream{m: m, groundTruth: groundTruth}, nil
+}
+
+// Push consumes one kinematics frame and returns the verdict for it.
+func (s *Stream) Push(f *kinematics.Frame) FrameVerdict {
+	m := s.m
+	idx := s.frameIdx
+	s.frameIdx++
+
+	// Gesture context.
+	g := 0
+	switch {
+	case m.UseGroundTruthGestures && s.groundTruth != nil:
+		if idx < len(s.groundTruth) {
+			g = s.groundTruth[idx]
+		}
+	case m.Errors.GestureSpecific && m.Gestures != nil:
+		gc := m.Gestures
+		row := gc.Config.Features.Extract(f, nil)
+		if gc.Standardizer != nil {
+			gc.Standardizer.Transform(row)
+		}
+		s.gestureBuf = append(s.gestureBuf, row)
+		if len(s.gestureBuf) > gc.Config.Window {
+			s.gestureBuf = s.gestureBuf[1:]
+		}
+		g = gc.Net.PredictClass(s.gestureBuf)
+	}
+
+	// Error stage.
+	cfg := m.Errors.Config
+	row := cfg.Features.Extract(f, nil)
+	if m.Errors.Standardizer != nil {
+		m.Errors.Standardizer.Transform(row)
+	}
+	s.errorBuf = append(s.errorBuf, row)
+	if len(s.errorBuf) > cfg.Window {
+		s.errorBuf = s.errorBuf[1:]
+	}
+	lookup := g
+	if !m.Errors.GestureSpecific {
+		lookup = -1
+	}
+	score := m.Errors.Score(lookup, s.errorBuf)
+	return FrameVerdict{
+		FrameIndex: idx,
+		Gesture:    g,
+		Score:      score,
+		Unsafe:     score >= m.Threshold,
+	}
+}

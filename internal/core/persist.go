@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/kinematics"
+	"repro/internal/nn"
+)
+
+// persistedGestureConfig mirrors GestureClassifierConfig without its
+// func-typed fields, which gob cannot encode.
+type persistedGestureConfig struct {
+	Features       []int // kinematics.FeatureGroup values
+	Window, Stride int
+	LSTMUnits      []int
+	DenseUnits     int
+	Dropout        float64
+	Epochs, Batch  int
+	LR             float64
+	Patience       int
+	ValFraction    float64
+	TrainStride    int
+	Seed           int64
+}
+
+func toPersistedGestureConfig(c GestureClassifierConfig) persistedGestureConfig {
+	return persistedGestureConfig{
+		Features: featureInts(c.Features), Window: c.Window, Stride: c.Stride,
+		LSTMUnits: c.LSTMUnits, DenseUnits: c.DenseUnits, Dropout: c.Dropout,
+		Epochs: c.Epochs, Batch: c.BatchSize, LR: c.LR, Patience: c.Patience,
+		ValFraction: c.ValFraction, TrainStride: c.TrainStride, Seed: c.Seed,
+	}
+}
+
+func (p persistedGestureConfig) restore() GestureClassifierConfig {
+	return GestureClassifierConfig{
+		Features: featureSet(p.Features), Window: p.Window, Stride: p.Stride,
+		LSTMUnits: p.LSTMUnits, DenseUnits: p.DenseUnits, Dropout: p.Dropout,
+		Epochs: p.Epochs, BatchSize: p.Batch, LR: p.LR, Patience: p.Patience,
+		ValFraction: p.ValFraction, TrainStride: p.TrainStride, Seed: p.Seed,
+	}
+}
+
+// persistedErrorConfig mirrors ErrorDetectorConfig without func fields.
+type persistedErrorConfig struct {
+	Features       []int
+	Window, Stride int
+	Arch           int
+	Units          []int
+	DenseUnits     int
+	KernelSize     int
+	Dropout        float64
+	Epochs, Batch  int
+	LR             float64
+	Patience       int
+	ValFraction    float64
+	TrainStride    int
+	MinSamples     int
+	Balance        bool
+	Seed           int64
+}
+
+func toPersistedErrorConfig(c ErrorDetectorConfig) persistedErrorConfig {
+	return persistedErrorConfig{
+		Features: featureInts(c.Features), Window: c.Window, Stride: c.Stride,
+		Arch: int(c.Arch), Units: c.Units, DenseUnits: c.DenseUnits,
+		KernelSize: c.KernelSize, Dropout: c.Dropout, Epochs: c.Epochs,
+		Batch: c.BatchSize, LR: c.LR, Patience: c.Patience,
+		ValFraction: c.ValFraction, TrainStride: c.TrainStride,
+		MinSamples: c.MinSamples, Balance: c.BalanceClasses, Seed: c.Seed,
+	}
+}
+
+func (p persistedErrorConfig) restore() ErrorDetectorConfig {
+	return ErrorDetectorConfig{
+		Features: featureSet(p.Features), Window: p.Window, Stride: p.Stride,
+		Arch: ErrorArch(p.Arch), Units: p.Units, DenseUnits: p.DenseUnits,
+		KernelSize: p.KernelSize, Dropout: p.Dropout, Epochs: p.Epochs,
+		BatchSize: p.Batch, LR: p.LR, Patience: p.Patience,
+		ValFraction: p.ValFraction, TrainStride: p.TrainStride,
+		MinSamples: p.MinSamples, BalanceClasses: p.Balance, Seed: p.Seed,
+	}
+}
+
+func featureInts(fs kinematics.FeatureSet) []int {
+	out := make([]int, len(fs))
+	for i, g := range fs {
+		out[i] = int(g)
+	}
+	return out
+}
+
+func featureSet(ints []int) kinematics.FeatureSet {
+	out := make(kinematics.FeatureSet, len(ints))
+	for i, v := range ints {
+		out[i] = kinematics.FeatureGroup(v)
+	}
+	return out
+}
+
+// persistedMonitor is the gob wire format of a trained monitor bundle:
+// both stages' networks, standardizers, and configurations, so a monitor
+// trained offline can be deployed next to the robot without retraining.
+type persistedMonitor struct {
+	Threshold  float64
+	UseGT      bool
+	HasGesture bool
+
+	GestureConfig persistedGestureConfig
+	GestureMean   []float64
+	GestureStd    []float64
+	GestureNet    []byte
+
+	ErrorConfig     persistedErrorConfig
+	ErrorMean       []float64
+	ErrorStd        []float64
+	GestureSpecific bool
+	HeadGestures    []int
+	HeadNets        [][]byte
+	GlobalNet       []byte
+}
+
+func encodeNet(n *nn.Network) ([]byte, error) {
+	if n == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeNet(data []byte, rng *rand.Rand) (*nn.Network, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return nn.DecodeNetwork(bytes.NewReader(data), rng)
+}
+
+// Encode serializes the monitor bundle. Verbose callbacks and any training
+// state are not persisted.
+func (m *Monitor) Encode(w io.Writer) error {
+	p := persistedMonitor{
+		Threshold: m.Threshold,
+		UseGT:     m.UseGroundTruthGestures,
+	}
+	if m.Gestures != nil {
+		p.HasGesture = true
+		p.GestureConfig = toPersistedGestureConfig(m.Gestures.Config)
+		if m.Gestures.Standardizer != nil {
+			p.GestureMean = m.Gestures.Standardizer.Mean
+			p.GestureStd = m.Gestures.Standardizer.Std
+		}
+		data, err := encodeNet(m.Gestures.Net)
+		if err != nil {
+			return fmt.Errorf("core: encode gesture net: %w", err)
+		}
+		p.GestureNet = data
+	}
+	if m.Errors == nil {
+		return fmt.Errorf("core: cannot persist monitor without an error library")
+	}
+	p.ErrorConfig = toPersistedErrorConfig(m.Errors.Config)
+	if m.Errors.Standardizer != nil {
+		p.ErrorMean = m.Errors.Standardizer.Mean
+		p.ErrorStd = m.Errors.Standardizer.Std
+	}
+	p.GestureSpecific = m.Errors.GestureSpecific
+	for g, net := range m.Errors.PerGesture {
+		data, err := encodeNet(net)
+		if err != nil {
+			return fmt.Errorf("core: encode head %d: %w", g, err)
+		}
+		p.HeadGestures = append(p.HeadGestures, g)
+		p.HeadNets = append(p.HeadNets, data)
+	}
+	global, err := encodeNet(m.Errors.Global)
+	if err != nil {
+		return fmt.Errorf("core: encode global head: %w", err)
+	}
+	p.GlobalNet = global
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// DecodeMonitor reconstructs a monitor bundle written by Encode. rng seeds
+// stochastic layers in the restored networks (only relevant if retrained).
+func DecodeMonitor(r io.Reader, rng *rand.Rand) (*Monitor, error) {
+	var p persistedMonitor
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: decode monitor: %w", err)
+	}
+	m := &Monitor{Threshold: p.Threshold, UseGroundTruthGestures: p.UseGT}
+	if p.HasGesture {
+		net, err := decodeNet(p.GestureNet, rng)
+		if err != nil {
+			return nil, err
+		}
+		m.Gestures = &GestureClassifier{
+			Net:    net,
+			Config: p.GestureConfig.restore(),
+			Standardizer: &kinematics.Standardizer{
+				Mean: p.GestureMean, Std: p.GestureStd,
+			},
+		}
+	}
+	lib := &ErrorLibrary{
+		Config:          p.ErrorConfig.restore(),
+		GestureSpecific: p.GestureSpecific,
+		Standardizer: &kinematics.Standardizer{
+			Mean: p.ErrorMean, Std: p.ErrorStd,
+		},
+		PerGesture: map[int]*nn.Network{},
+	}
+	for i, g := range p.HeadGestures {
+		net, err := decodeNet(p.HeadNets[i], rng)
+		if err != nil {
+			return nil, err
+		}
+		lib.PerGesture[g] = net
+	}
+	global, err := decodeNet(p.GlobalNet, rng)
+	if err != nil {
+		return nil, err
+	}
+	lib.Global = global
+	m.Errors = lib
+	return m, nil
+}
+
+// SaveFile writes the monitor bundle to a file.
+func (m *Monitor) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadMonitorFile reads a monitor bundle written by SaveFile.
+func LoadMonitorFile(path string, rng *rand.Rand) (*Monitor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load monitor: %w", err)
+	}
+	return DecodeMonitor(bytes.NewReader(data), rng)
+}

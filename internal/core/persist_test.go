@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestMonitorPersistRoundTrip(t *testing.T) {
+	trajs := tinyDemos(t, 31, 3)
+	gc := tinyGC(t, trajs[:2])
+	el := tinyEL(t, trajs[:2])
+	mon := NewMonitor(gc, el)
+	mon.Threshold = 0.42
+
+	var buf bytes.Buffer
+	if err := mon.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeMonitor(&buf, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Threshold != 0.42 {
+		t.Errorf("threshold %v", restored.Threshold)
+	}
+	if restored.Errors.Config.Window != el.Config.Window {
+		t.Error("error config not restored")
+	}
+	if restored.Gestures.Config.Window != gc.Config.Window {
+		t.Error("gesture config not restored")
+	}
+
+	// Restored monitor must produce identical verdicts.
+	orig, err := mon.Run(trajs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Run(trajs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Verdicts {
+		if math.Abs(orig.Verdicts[i].Score-got.Verdicts[i].Score) > 1e-12 {
+			t.Fatalf("frame %d: score %.9f vs %.9f", i,
+				orig.Verdicts[i].Score, got.Verdicts[i].Score)
+		}
+		if orig.Verdicts[i].Gesture != got.Verdicts[i].Gesture {
+			t.Fatalf("frame %d: gesture differs", i)
+		}
+	}
+}
+
+func TestMonitorPersistFile(t *testing.T) {
+	trajs := tinyDemos(t, 32, 2)
+	el := tinyEL(t, trajs)
+	mon := NewMonitor(nil, el)
+	mon.UseGroundTruthGestures = true
+
+	path := filepath.Join(t.TempDir(), "monitor.bin")
+	if err := mon.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadMonitorFile(path, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Gestures != nil {
+		t.Error("gesture stage should be absent")
+	}
+	if !restored.UseGroundTruthGestures {
+		t.Error("ground-truth flag lost")
+	}
+}
+
+func TestPersistRequiresErrorLibrary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Monitor{}).Encode(&buf); err == nil {
+		t.Error("expected error for monitor without stages")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadMonitorFile("/nonexistent/monitor.bin", rand.New(rand.NewSource(3))); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+// TestPipelineSmoke trains a miniature end-to-end pipeline on synthetic
+// Suturing data and checks that both stages learn signal: gesture accuracy
+// well above chance and error-detection AUC above 0.6.
+func TestPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training smoke test")
+	}
+	cfg := synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 42,
+		NumDemos: 24, NumTrials: 4, Subjects: 4, DurationScale: 0.7,
+	}
+	demos, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	trajs := synth.Trajectories(demos)
+	folds := dataset.LOSO(trajs)
+	fold := folds[0]
+
+	gcCfg := DefaultGestureClassifierConfig()
+	gcCfg.LSTMUnits = []int{24}
+	gcCfg.DenseUnits = 12
+	gcCfg.Window = 8
+	gcCfg.Epochs = 6
+	gcCfg.TrainStride = 4
+	gc, err := TrainGestureClassifier(fold.Train, gcCfg)
+	if err != nil {
+		t.Fatalf("train gesture classifier: %v", err)
+	}
+	acc, err := gc.Accuracy(fold.Test)
+	if err != nil {
+		t.Fatalf("accuracy: %v", err)
+	}
+	t.Logf("gesture accuracy: %.3f", acc)
+	if acc < 0.5 {
+		t.Errorf("gesture accuracy %.3f below 0.5 (chance ~0.1)", acc)
+	}
+
+	elCfg := DefaultErrorDetectorConfig()
+	elCfg.Epochs = 8
+	elCfg.TrainStride = 2
+	el, err := TrainErrorLibrary(fold.Train, elCfg)
+	if err != nil {
+		t.Fatalf("train error library: %v", err)
+	}
+	_, auc, err := el.OverallEval(fold.Test, 0.5)
+	if err != nil {
+		t.Fatalf("overall eval: %v", err)
+	}
+	t.Logf("error detection AUC (perfect boundaries): %.3f", auc)
+	if auc < 0.6 {
+		t.Errorf("error AUC %.3f below 0.6", auc)
+	}
+
+	mon := NewMonitor(gc, el)
+	rep, err := mon.Evaluate(fold.Test, nil)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	t.Logf("pipeline report:\n%s", rep.Render())
+	if rep.AUC < 0.55 {
+		t.Errorf("pipeline AUC %.3f below 0.55", rep.AUC)
+	}
+}

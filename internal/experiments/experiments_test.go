@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gesture"
+)
+
+func quickOpts() Options { return Options{Scale: Quick, Seed: 1} }
+
+func TestFig3ChainsMatchGrammars(t *testing.T) {
+	res, err := RunFig3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block Transfer chain is the deterministic Figure 3b cycle.
+	bt := res.BlockTransfer
+	for _, edge := range [][2]int{{2, 12}, {12, 6}, {6, 5}, {5, 11}} {
+		if p := bt.Prob(edge[0], edge[1]); p != 1 {
+			t.Errorf("P(G%d->G%d) = %v, want 1", edge[0], edge[1], p)
+		}
+	}
+	// Suturing chain: G1 starts dominate, G2->G3 is the most likely edge.
+	sut := res.Suturing
+	if sut.Prob(gesture.StateStart, 1) < 0.5 {
+		t.Errorf("P(Start->G1) = %v, want > 0.5", sut.Prob(gesture.StateStart, 1))
+	}
+	if sut.Prob(2, 3) < 0.7 {
+		t.Errorf("P(G2->G3) = %v, want > 0.7", sut.Prob(2, 3))
+	}
+	if !strings.Contains(res.Render(), "Figure 3a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig5DivergenceShape(t *testing.T) {
+	res, err := RunFig5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gestures) < 3 {
+		t.Fatalf("only %d gestures had enough erroneous samples", len(res.Gestures))
+	}
+	// Matrix symmetric with zero diagonal.
+	for i := range res.Matrix {
+		if res.Matrix[i][i] != 0 {
+			t.Error("nonzero diagonal")
+		}
+		for j := range res.Matrix[i] {
+			if res.Matrix[i][j] != res.Matrix[j][i] {
+				t.Error("asymmetric matrix")
+			}
+		}
+	}
+	// The paper's key observation: some pairs diverge strongly
+	// (context-specific errors).
+	if res.MaxOffDiagonal() < 0.1 {
+		t.Errorf("max divergence %.3f too small: errors not context-specific", res.MaxOffDiagonal())
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3QuickShape(t *testing.T) {
+	res, err := RunTable3(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Campaign
+	if c.Total != 56 { // 28 buckets x 2
+		t.Fatalf("quick campaign ran %d injections", c.Total)
+	}
+	// Crossover shape: high-angle bands drop, low-angle short bands don't.
+	var lowShortFailures, highDrops, highTotal int
+	for _, br := range c.Buckets {
+		b := br.Bucket
+		if b.GrasperHi <= 0.8 && b.GrasperDurHi <= 0.70 {
+			lowShortFailures += br.BlockDrops + br.Dropoffs
+		}
+		if b.GrasperLo >= 1.1 {
+			highDrops += br.BlockDrops
+			highTotal += br.Injections
+		}
+	}
+	if lowShortFailures > 2 {
+		t.Errorf("low-angle short faults caused %d failures, expected ~0", lowShortFailures)
+	}
+	if float64(highDrops) < 0.8*float64(highTotal) {
+		t.Errorf("high-angle faults dropped only %d/%d", highDrops, highTotal)
+	}
+	if !strings.Contains(res.Render(), "Table III") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable4AllTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains four classifiers")
+	}
+	res, err := RunTable4(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d task rows, want 4", len(res.Rows))
+	}
+	var suturing, bt Table4Row
+	for _, row := range res.Rows {
+		if row.LSTMAccuracy <= 0.3 {
+			t.Errorf("%v LSTM accuracy %.3f near chance", row.Task, row.LSTMAccuracy)
+		}
+		if row.TrainSize == 0 || row.NumTrajectories == 0 {
+			t.Errorf("%v: missing dataset stats", row.Task)
+		}
+		switch row.Task {
+		case gesture.Suturing:
+			suturing = row
+		case gesture.BlockTransfer:
+			bt = row
+		}
+	}
+	// Both headline tasks must classify well above chance; at quick scale
+	// either may edge out the other, so no ordering is asserted.
+	if suturing.LSTMAccuracy < 0.6 || bt.LSTMAccuracy < 0.6 {
+		t.Errorf("accuracies too low: Suturing %.3f, Block Transfer %.3f",
+			suturing.LSTMAccuracy, bt.LSTMAccuracy)
+	}
+	if !strings.Contains(res.Render(), "Table IV") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable5ContextBeatsBaseline(t *testing.T) {
+	res, err := RunTable5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	best := res.BestSpecificAUC()
+	base := res.NonSpecificAUC()
+	t.Logf("table5: best specific AUC %.3f vs non-specific %.3f", best, base)
+	if best < 0.55 {
+		t.Errorf("best gesture-specific AUC %.3f shows no signal", best)
+	}
+	if !strings.Contains(res.Render(), "Table V") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable6BlockTransfer(t *testing.T) {
+	res, err := RunTable6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	best := res.BestSpecificAUC()
+	t.Logf("table6: best specific AUC %.3f vs non-specific %.3f", best, res.NonSpecificAUC())
+	if best < 0.6 {
+		t.Errorf("best gesture-specific AUC %.3f shows no signal", best)
+	}
+}
+
+func TestTable7PerGesture(t *testing.T) {
+	res, err := RunTable7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suturingRows, btRows int
+	for _, row := range res.Rows {
+		if row.AUC < 0 || row.AUC > 1 {
+			t.Errorf("G%d AUC %v", row.Gesture, row.AUC)
+		}
+		switch row.Task {
+		case "Suturing":
+			suturingRows++
+		case "BlockTransfer":
+			btRows++
+		}
+	}
+	if suturingRows < 4 || btRows < 2 {
+		t.Errorf("rows: suturing %d, block transfer %d", suturingRows, btRows)
+	}
+}
+
+func TestTable8FiveSetups(t *testing.T) {
+	res, err := RunTable8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 5 {
+		t.Fatalf("got %d setups, want 5", len(res.Outcomes))
+	}
+	perfect := res.Find(gesture.Suturing, true, true)
+	specific := res.Find(gesture.Suturing, true, false)
+	nonSpecific := res.Find(gesture.Suturing, false, false)
+	if perfect == nil || specific == nil || nonSpecific == nil {
+		t.Fatal("missing Suturing setups")
+	}
+	t.Logf("suturing AUC: perfect %.3f, specific %.3f, non-specific %.3f",
+		perfect.Report.AUC, specific.Report.AUC, nonSpecific.Report.AUC)
+	// Headline claims (shape): perfect boundaries >= predicted boundaries,
+	// and context-specific detection carries signal.
+	if perfect.Report.AUC < specific.Report.AUC-0.05 {
+		t.Errorf("perfect boundaries (%.3f) should not trail predicted (%.3f)",
+			perfect.Report.AUC, specific.Report.AUC)
+	}
+	if specific.Report.AUC < 0.5 {
+		t.Errorf("context-specific pipeline AUC %.3f below chance", specific.Report.AUC)
+	}
+	bt := res.Find(gesture.BlockTransfer, true, false)
+	if bt == nil {
+		t.Fatal("missing Block Transfer setup")
+	}
+	t.Logf("block transfer AUC: specific %.3f", bt.Report.AUC)
+	if !strings.Contains(res.Render(), "Table VIII") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable9Render(t *testing.T) {
+	res, err := RunTable9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table IX") || !strings.Contains(out, "G") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFig8Timeline(t *testing.T) {
+	res, err := RunFig8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Truth) == 0 || len(res.Predicted) != len(res.Truth) {
+		t.Fatal("timeline incomplete")
+	}
+	out := res.Render()
+	for _, want := range []string{"truth", "predicted", "alert"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestExtensionStudy(t *testing.T) {
+	res, err := RunExtension(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	base, lookahead := res.Rows[0], res.Rows[1]
+	t.Logf("base: AUC %.3f missed %d/%d; lookahead: AUC %.3f missed %d/%d",
+		base.AUC, base.Missed, base.Total, lookahead.AUC, lookahead.Missed, lookahead.Total)
+	if lookahead.Missed > base.Missed {
+		t.Errorf("lookahead must not miss more errors (%d vs %d)", lookahead.Missed, base.Missed)
+	}
+	// Learned monitors must beat static envelopes on AUC.
+	for _, row := range res.Rows[2:] {
+		if row.AUC > base.AUC+0.1 {
+			t.Errorf("static envelope %q (AUC %.3f) implausibly beats the DNN pipeline (%.3f)",
+				row.Name, row.AUC, base.AUC)
+		}
+	}
+	if !strings.Contains(res.Render(), "Extension study") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig9Curves(t *testing.T) {
+	res, err := RunFig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 6 {
+		t.Fatalf("got %d curves, want 6 (best/median/worst x 2 setups)", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) < 2 {
+			t.Errorf("%s: %d points", c.Label, len(c.Points))
+		}
+		if c.AUC < 0 || c.AUC > 1 {
+			t.Errorf("%s: AUC %v", c.Label, c.AUC)
+		}
+	}
+}

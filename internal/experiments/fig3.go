@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+// Fig3Result holds the Markov chains of Figure 3: the task grammars fitted
+// from demonstration gesture sequences.
+type Fig3Result struct {
+	Suturing      *gesture.MarkovChain
+	BlockTransfer *gesture.MarkovChain
+	// SuturingDemos and BlockDemos are the demo counts used.
+	SuturingDemos, BlockDemos int
+}
+
+// RunFig3 fits the Figure 3a/3b Markov chains from generated
+// demonstrations.
+func RunFig3(o Options) (*Fig3Result, error) {
+	sutDemos, err := synth.Generate(o.suturingConfig())
+	if err != nil {
+		return nil, err
+	}
+	btCfg := o.suturingConfig()
+	btCfg.Task = gesture.BlockTransfer
+	btDemos, err := synth.Generate(btCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	seqs := func(demos []*synth.Demo) [][]int {
+		out := make([][]int, len(demos))
+		for i, d := range demos {
+			out[i] = d.Traj.GestureSequence()
+		}
+		return out
+	}
+	sut, err := gesture.FitMarkovChain(seqs(sutDemos))
+	if err != nil {
+		return nil, fmt.Errorf("fit suturing chain: %w", err)
+	}
+	bt, err := gesture.FitMarkovChain(seqs(btDemos))
+	if err != nil {
+		return nil, fmt.Errorf("fit block transfer chain: %w", err)
+	}
+	return &Fig3Result{
+		Suturing: sut, BlockTransfer: bt,
+		SuturingDemos: len(sutDemos), BlockDemos: len(btDemos),
+	}, nil
+}
+
+// Render returns the textual Figure 3 analogue.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3a — Markov chain for Suturing (%d demos):\n%s\n",
+		r.SuturingDemos, r.Suturing.Render(0.01))
+	fmt.Fprintf(&b, "Figure 3b — Markov chain for Block Transfer (%d demos):\n%s",
+		r.BlockDemos, r.BlockTransfer.Render(0.01))
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kinematics"
+	"repro/internal/stats"
+)
+
+// Fig8Result is the example detection timeline of Figure 8: ground-truth
+// gestures, predicted gestures, and unsafe verdicts over one demonstration.
+type Fig8Result struct {
+	HzRate    float64
+	Truth     []int
+	Predicted []int
+	UnsafeGT  []bool
+	Scores    []float64
+	Threshold float64
+}
+
+// RunFig8 runs the context-specific monitor over one held-out Block
+// Transfer demonstration and returns the timeline.
+func RunFig8(o Options) (*Fig8Result, error) {
+	trajs, _, err := o.blockTransferData()
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.LOSO(trajs)
+	fold := folds[0]
+	gc, err := core.TrainGestureClassifier(fold.Train, o.gestureClassifierConfig(kinematics.CG()))
+	if err != nil {
+		return nil, err
+	}
+	lib, err := core.TrainErrorLibrary(fold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.CG(), 10))
+	if err != nil {
+		return nil, err
+	}
+	mon := core.NewMonitor(gc, lib)
+
+	// Prefer a demo with at least one unsafe segment for illustration.
+	target := fold.Test[0]
+	for _, tr := range fold.Test {
+		if tr.UnsafeFraction() > 0 {
+			target = tr
+			break
+		}
+	}
+	trace, err := mon.Run(target)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		HzRate:    target.HzRate,
+		Truth:     target.Gestures,
+		Predicted: trace.PredictedGestures(),
+		UnsafeGT:  target.Unsafe,
+		Scores:    trace.Scores(),
+		Threshold: mon.Threshold,
+	}, nil
+}
+
+// Render draws the ASCII timeline.
+func (r *Fig8Result) Render() string {
+	const cols = 78
+	n := len(r.Truth)
+	if n == 0 {
+		return "empty timeline\n"
+	}
+	sample := func(vals []int, i int) int { return vals[i*n/cols] }
+	var b strings.Builder
+	b.WriteString("Figure 8 — example timeline (one column ≈ ")
+	fmt.Fprintf(&b, "%.2f s):\n", float64(n)/r.HzRate/cols)
+
+	line := func(label string, f func(i int) byte) {
+		fmt.Fprintf(&b, "%-11s ", label)
+		for c := 0; c < cols; c++ {
+			b.WriteByte(f(c))
+		}
+		b.WriteByte('\n')
+	}
+	digit := func(g int) byte {
+		if g <= 0 {
+			return '.'
+		}
+		return "0123456789abcdef"[g%16]
+	}
+	line("truth", func(c int) byte { return digit(sample(r.Truth, c)) })
+	line("predicted", func(c int) byte { return digit(sample(r.Predicted, c)) })
+	line("unsafe(GT)", func(c int) byte {
+		if r.UnsafeGT[c*n/cols] {
+			return '#'
+		}
+		return '.'
+	})
+	line("alert", func(c int) byte {
+		if r.Scores[c*n/cols] >= r.Threshold {
+			return '!'
+		}
+		return '.'
+	})
+	b.WriteString("(gesture indices rendered as hex digits; '#' ground-truth unsafe; '!' monitor alert)\n")
+	return b.String()
+}
+
+// Fig9Curve is one ROC curve of Figure 9.
+type Fig9Curve struct {
+	Label  string
+	Points []stats.ROCPoint
+	AUC    float64
+}
+
+// Fig9Result holds best/median/worst per-demo ROC curves for the
+// context-specific and non-context-specific Suturing pipelines.
+type Fig9Result struct {
+	Curves []Fig9Curve
+}
+
+// RunFig9 evaluates both Suturing pipelines per held-out demonstration and
+// extracts the best, median, and worst ROC curves of each.
+func RunFig9(o Options) (*Fig9Result, error) {
+	demos, folds, err := o.suturingData()
+	if err != nil {
+		return nil, err
+	}
+	_ = demos
+	fold := folds[0]
+	gc, err := core.TrainGestureClassifier(fold.Train, o.gestureClassifierConfig(kinematics.AllFeatures()))
+	if err != nil {
+		return nil, err
+	}
+	lib, err := core.TrainErrorLibrary(fold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.AllFeatures(), 5))
+	if err != nil {
+		return nil, err
+	}
+	mono, err := core.TrainMonolithicDetector(fold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.AllFeatures(), 5))
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig9Result{}
+	for _, setup := range []struct {
+		label string
+		mon   *core.Monitor
+	}{
+		{"context-specific", core.NewMonitor(gc, lib)},
+		{"non-context-specific", core.NewMonitor(nil, mono)},
+	} {
+		type demoROC struct {
+			auc   float64
+			curve []stats.ROCPoint
+		}
+		var rocs []demoROC
+		for _, tr := range fold.Test {
+			if tr.UnsafeFraction() == 0 || tr.UnsafeFraction() == 1 {
+				continue // ROC undefined for single-class demos
+			}
+			trace, err := setup.mon.Run(tr)
+			if err != nil {
+				return nil, err
+			}
+			scores := trace.Scores()
+			labels := make([]bool, len(scores))
+			for i := range labels {
+				labels[i] = tr.Unsafe[i]
+			}
+			rocs = append(rocs, demoROC{
+				auc:   stats.AUC(scores, labels),
+				curve: stats.ROC(scores, labels),
+			})
+		}
+		if len(rocs) == 0 {
+			continue
+		}
+		sort.Slice(rocs, func(i, j int) bool { return rocs[i].auc < rocs[j].auc })
+		pick := []struct {
+			name string
+			idx  int
+		}{
+			{"worst", 0},
+			{"median", len(rocs) / 2},
+			{"best", len(rocs) - 1},
+		}
+		for _, p := range pick {
+			r := rocs[p.idx]
+			res.Curves = append(res.Curves, Fig9Curve{
+				Label:  setup.label + " " + p.name,
+				Points: decimate(r.curve, 24),
+				AUC:    r.auc,
+			})
+		}
+	}
+	return res, nil
+}
+
+// decimate keeps at most n evenly spaced points of a curve.
+func decimate(curve []stats.ROCPoint, n int) []stats.ROCPoint {
+	if len(curve) <= n {
+		return curve
+	}
+	out := make([]stats.ROCPoint, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, curve[i*(len(curve)-1)/(n-1)])
+	}
+	return out
+}
+
+// Render prints the curves as FPR/TPR series.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9 — best/median/worst ROC curves, context vs non-context pipelines:\n")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "%-30s AUC %.3f\n  ", c.Label, c.AUC)
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "(%.2f,%.2f) ", p.FPR, p.TPR)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

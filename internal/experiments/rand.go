@@ -1,0 +1,6 @@
+package experiments
+
+import "math/rand"
+
+// newRand returns a deterministic rand.Rand for the given seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/faultinject"
+)
+
+// Table3Result wraps the fault-injection campaign of Table III.
+type Table3Result struct {
+	Campaign *faultinject.CampaignResult
+}
+
+// RunTable3 executes the Table III campaign. Quick scale runs a reduced
+// grid (2 injections per bucket at a lower simulation rate); Full runs the
+// paper's 651 injections.
+func RunTable3(o Options) (*Table3Result, error) {
+	grid := faultinject.Table3Grid()
+	hz := 1000.0
+	demos := 20
+	if o.Scale == Quick {
+		hz = 200
+		demos = 6
+		for i := range grid {
+			grid[i].Count = 2
+		}
+	}
+	o.log("table3: running %d-bucket campaign at %v Hz", len(grid), hz)
+	camp, err := faultinject.RunCampaign(grid, faultinject.CampaignConfig{
+		Seed: o.Seed, NumDemos: demos, Hz: hz,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Campaign: camp}, nil
+}
+
+// Render returns the Table III text.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III — fault injection experiments on the Raven II simulator:\n")
+	b.WriteString(r.Campaign.RenderTable())
+	fmt.Fprintf(&b, "(paper: 651 injections, 392 block-drops, 106 dropoffs)\n")
+	return b.String()
+}

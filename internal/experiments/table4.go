@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Table4Row is one cell block of Table IV: per-task gesture classification
+// accuracy for this work and the two baselines, plus dataset statistics.
+type Table4Row struct {
+	Task            gesture.Task
+	LSTMAccuracy    float64 // this work (stacked LSTM)
+	SCCRFAccuracy   float64 // skip-chain baseline
+	SDSDLAccuracy   float64 // dictionary + SVM baseline
+	TrainSize       int     // training samples (frames)
+	NumTrajectories int
+	Folds           int
+}
+
+// Table4Result aggregates all tasks.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// RunTable4 reproduces Table IV: LOSO gesture classification accuracy on
+// Suturing, Knot Tying, Needle Passing (38 kinematic features) and Block
+// Transfer (Cartesian + Grasper features), for the stacked LSTM and the
+// SC-CRF / SDSDL stand-ins.
+func RunTable4(o Options) (*Table4Result, error) {
+	res := &Table4Result{}
+	tasks := []gesture.Task{gesture.Suturing, gesture.KnotTying, gesture.NeedlePassing, gesture.BlockTransfer}
+	for _, task := range tasks {
+		row, err := o.runTable4Task(task)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %v: %w", task, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (o Options) runTable4Task(task gesture.Task) (Table4Row, error) {
+	demos, err := synth.Generate(o.taskConfig(task))
+	if err != nil {
+		return Table4Row{}, err
+	}
+	trajs := synth.Trajectories(demos)
+	folds := dataset.LOSO(trajs)
+	maxFolds := len(folds)
+	if o.Scale == Quick {
+		maxFolds = 1
+	} else if maxFolds > 2 {
+		// Full-scale averages over two LOSO folds per task: enough for a
+		// stable mean while keeping CPU training within minutes.
+		maxFolds = 2
+	}
+
+	features := kinematics.AllFeatures()
+	if task == gesture.BlockTransfer {
+		features = kinematics.CG()
+	}
+
+	row := Table4Row{Task: task, NumTrajectories: len(trajs), Folds: maxFolds}
+	var lstmAcc, crfAcc, sdsdlAcc []float64
+	for fi := 0; fi < maxFolds; fi++ {
+		fold := folds[fi]
+		o.log("table4 %v fold %d/%d", task, fi+1, maxFolds)
+
+		gcCfg := o.gestureClassifierConfig(features)
+		gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
+		if err != nil {
+			return row, err
+		}
+		acc, err := gc.Accuracy(fold.Test)
+		if err != nil {
+			return row, err
+		}
+		lstmAcc = append(lstmAcc, acc)
+
+		// SC-CRF stand-in.
+		xs, ys := sequences(fold.Train, features)
+		txs, tys := sequences(fold.Test, features)
+		sc := baseline.NewSkipChain(10)
+		if err := sc.Fit(xs, ys); err != nil {
+			return row, err
+		}
+		a2, err := sc.Accuracy(txs, tys)
+		if err != nil {
+			return row, err
+		}
+		crfAcc = append(crfAcc, a2)
+
+		// SDSDL stand-in (frame subsampled for tractability).
+		frames, labels := flatten(xs, ys, 4)
+		tFrames, tLabels := flatten(txs, tys, 2)
+		sd := baseline.NewSDSDL(48)
+		if err := sd.Fit(newRand(o.Seed+int64(fi)), frames, labels); err != nil {
+			return row, err
+		}
+		a3, err := sd.Accuracy(tFrames, tLabels)
+		if err != nil {
+			return row, err
+		}
+		sdsdlAcc = append(sdsdlAcc, a3)
+
+		if fi == 0 {
+			for _, tr := range fold.Train {
+				row.TrainSize += tr.Len()
+			}
+		}
+	}
+	row.LSTMAccuracy = stats.Mean(lstmAcc)
+	row.SCCRFAccuracy = stats.Mean(crfAcc)
+	row.SDSDLAccuracy = stats.Mean(sdsdlAcc)
+	return row, nil
+}
+
+// sequences converts trajectories into per-frame feature/label sequences.
+func sequences(trajs []*kinematics.Trajectory, features kinematics.FeatureSet) ([][][]float64, [][]int) {
+	xs := make([][][]float64, len(trajs))
+	ys := make([][]int, len(trajs))
+	for i, tr := range trajs {
+		xs[i] = features.Matrix(tr)
+		ys[i] = tr.Gestures
+	}
+	return xs, ys
+}
+
+// flatten concatenates sequences into frames with subsampling stride.
+func flatten(xs [][][]float64, ys [][]int, stride int) ([][]float64, []int) {
+	var frames [][]float64
+	var labels []int
+	for i := range xs {
+		for j := 0; j < len(xs[i]); j += stride {
+			frames = append(frames, xs[i][j])
+			labels = append(labels, ys[i][j])
+		}
+	}
+	return frames, labels
+}
+
+// Render returns the Table IV text.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV — gesture classification accuracy in LOSO setup:\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %12s %8s\n", "Method", "Suturing", "KnotTying", "NeedlePass", "BlockTransfer", "")
+	line := func(name string, pick func(Table4Row) float64) {
+		fmt.Fprintf(&b, "%-22s", name)
+		for _, task := range []gesture.Task{gesture.Suturing, gesture.KnotTying, gesture.NeedlePassing, gesture.BlockTransfer} {
+			var v float64
+			for _, row := range r.Rows {
+				if row.Task == task {
+					v = pick(row)
+				}
+			}
+			fmt.Fprintf(&b, " %9.2f%%", 100*v)
+		}
+		b.WriteByte('\n')
+	}
+	line("This work (LSTM)", func(r Table4Row) float64 { return r.LSTMAccuracy })
+	line("SC-CRF (stand-in)", func(r Table4Row) float64 { return r.SCCRFAccuracy })
+	line("SDSDL (stand-in)", func(r Table4Row) float64 { return r.SDSDLAccuracy })
+	fmt.Fprintf(&b, "%-22s", "Training size")
+	for _, task := range []gesture.Task{gesture.Suturing, gesture.KnotTying, gesture.NeedlePassing, gesture.BlockTransfer} {
+		for _, row := range r.Rows {
+			if row.Task == task {
+				fmt.Fprintf(&b, " %10d", row.TrainSize)
+			}
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-22s", "Num trajectories")
+	for _, task := range []gesture.Task{gesture.Suturing, gesture.KnotTying, gesture.NeedlePassing, gesture.BlockTransfer} {
+		for _, row := range r.Rows {
+			if row.Task == task {
+				fmt.Fprintf(&b, " %10d", row.NumTrajectories)
+			}
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

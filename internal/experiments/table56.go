@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kinematics"
+	"repro/internal/stats"
+)
+
+// AblationRow is one setup row of Tables V/VI: the erroneous-gesture
+// detection step evaluated with perfect gesture boundaries.
+type AblationRow struct {
+	Setup    string // "gesture specific" or "non-gesture specific"
+	Arch     core.ErrorArch
+	Features string
+	TPR, TNR float64
+	PPV, NPV float64
+	AUC      float64
+}
+
+// AblationResult is a full Table V or VI.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// RunTable5 reproduces Table V: the Suturing erroneous-gesture step ablated
+// over architecture (LSTM vs 1D-CNN), feature subsets (All vs C,R,G), and
+// gesture-specific vs non-gesture-specific training (window=5, stride=1).
+func RunTable5(o Options) (*AblationResult, error) {
+	demos, folds, err := o.suturingData()
+	if err != nil {
+		return nil, err
+	}
+	_ = demos
+	fold := folds[0]
+	setups := []struct {
+		specific bool
+		arch     core.ErrorArch
+		features kinematics.FeatureSet
+	}{
+		{true, core.ArchLSTM, kinematics.AllFeatures()},
+		{true, core.ArchLSTM, kinematics.CRG()},
+		{true, core.ArchConv, kinematics.CRG()},
+		{true, core.ArchConv, kinematics.AllFeatures()},
+		{false, core.ArchLSTM, kinematics.AllFeatures()},
+	}
+	res := &AblationResult{Title: "Table V — erroneous gesture classification for Suturing (window=5, stride=1)"}
+	for _, s := range setups {
+		row, err := o.runAblation(fold.Train, fold.Test, s.specific, s.arch, s.features, 5)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunTable6 reproduces Table VI: the Block Transfer erroneous-gesture step
+// on Raven II simulator data (C,G features, window=10, stride=1).
+func RunTable6(o Options) (*AblationResult, error) {
+	trajs, _, err := o.blockTransferData()
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.LOSO(trajs)
+	fold := folds[0]
+	setups := []struct {
+		specific bool
+		arch     core.ErrorArch
+	}{
+		{true, core.ArchConv},
+		{true, core.ArchLSTM},
+		{false, core.ArchConv},
+	}
+	res := &AblationResult{Title: "Table VI — erroneous gesture classification for Block Transfer (window=10, stride=1)"}
+	for _, s := range setups {
+		row, err := o.runAblation(fold.Train, fold.Test, s.specific, s.arch, kinematics.CG(), 10)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (o Options) runAblation(train, test []*kinematics.Trajectory, specific bool, arch core.ErrorArch, features kinematics.FeatureSet, window int) (AblationRow, error) {
+	cfg := o.errorDetectorConfig(arch, features, window)
+	var lib *core.ErrorLibrary
+	var err error
+	setup := "gesture specific"
+	if specific {
+		lib, err = core.TrainErrorLibrary(train, cfg)
+	} else {
+		setup = "non-gesture specific"
+		lib, err = core.TrainMonolithicDetector(train, cfg)
+	}
+	if err != nil {
+		return AblationRow{}, err
+	}
+	conf, auc, err := lib.OverallEval(test, 0.5)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	o.log("ablation %s/%v/%v: AUC %.3f", setup, arch, features, auc)
+	return AblationRow{
+		Setup:    setup,
+		Arch:     arch,
+		Features: features.String(),
+		TPR:      conf.TPR(), TNR: conf.TNR(),
+		PPV: conf.PPV(), NPV: conf.NPV(),
+		AUC: auc,
+	}, nil
+}
+
+// Render returns the ablation table text.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title + ":\n")
+	fmt.Fprintf(&b, "%-22s %-6s %-8s %6s %6s %6s %6s %6s\n", "Setup", "Model", "Features", "TPR", "TNR", "PPV", "NPV", "AUC")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %-6s %-8s %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+			row.Setup, row.Arch, row.Features, row.TPR, row.TNR, row.PPV, row.NPV, row.AUC)
+	}
+	return b.String()
+}
+
+// BestSpecificAUC returns the best gesture-specific AUC; used by tests to
+// check the context-specificity claim.
+func (r *AblationResult) BestSpecificAUC() float64 {
+	var best float64
+	for _, row := range r.Rows {
+		if row.Setup == "gesture specific" && row.AUC > best {
+			best = row.AUC
+		}
+	}
+	return best
+}
+
+// NonSpecificAUC returns the mean non-gesture-specific AUC.
+func (r *AblationResult) NonSpecificAUC() float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		if row.Setup == "non-gesture specific" {
+			xs = append(xs, row.AUC)
+		}
+	}
+	return stats.Mean(xs)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kinematics"
+)
+
+// Table7Row is one gesture row of Table VII.
+type Table7Row struct {
+	Task        string
+	Gesture     int
+	TrainSize   int
+	TrainErrPct float64
+	TestSize    int
+	TestErrPct  float64
+	AUC         float64
+}
+
+// Table7Result is the per-gesture performance table.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// RunTable7 reproduces Table VII: per-gesture AUC of the best 1D-CNN
+// erroneous-gesture classifiers with perfect boundaries, for Suturing
+// (C,R,G window=5) and Block Transfer (C,G window=10).
+func RunTable7(o Options) (*Table7Result, error) {
+	res := &Table7Result{}
+
+	// Suturing.
+	_, folds, err := o.suturingData()
+	if err != nil {
+		return nil, err
+	}
+	fold := folds[0]
+	cfg := o.errorDetectorConfig(core.ArchConv, kinematics.CRG(), 5)
+	lib, err := core.TrainErrorLibrary(fold.Train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := table7Rows(o, "Suturing", lib, fold.Train, fold.Test)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, rows...)
+
+	// Block Transfer.
+	btTrajs, _, err := o.blockTransferData()
+	if err != nil {
+		return nil, err
+	}
+	btFolds := dataset.LOSO(btTrajs)
+	btCfg := o.errorDetectorConfig(core.ArchConv, kinematics.CG(), 10)
+	btLib, err := core.TrainErrorLibrary(btFolds[0].Train, btCfg)
+	if err != nil {
+		return nil, err
+	}
+	btRows, err := table7Rows(o, "BlockTransfer", btLib, btFolds[0].Train, btFolds[0].Test)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, btRows...)
+	return res, nil
+}
+
+func table7Rows(o Options, task string, lib *core.ErrorLibrary, train, test []*kinematics.Trajectory) ([]Table7Row, error) {
+	evs, err := lib.EvalPerGesture(test, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	// Train-set statistics per gesture.
+	trainWindows, err := dataset.Slide(train, dataset.Config{
+		Features: lib.Config.Features, Size: lib.Config.Window, Stride: lib.Config.Stride,
+		Standardizer: lib.Standardizer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trainByG := dataset.ByGesture(trainWindows)
+
+	var rows []Table7Row
+	for _, ev := range evs {
+		row := Table7Row{
+			Task:       task,
+			Gesture:    ev.Gesture,
+			TestSize:   ev.TestSize,
+			TestErrPct: 100 * ev.PctErrors,
+			AUC:        ev.AUC,
+		}
+		if tws := trainByG[ev.Gesture]; len(tws) > 0 {
+			row.TrainSize = len(tws)
+			row.TrainErrPct = 100 * float64(dataset.CountUnsafe(tws)) / float64(len(tws))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Render returns the Table VII text.
+func (r *Table7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table VII — performance of the erroneous gesture classifiers (perfect boundaries):\n")
+	fmt.Fprintf(&b, "%-14s %-4s %10s %8s %10s %8s %6s\n", "Task", "G", "TrainSize", "%Err", "TestSize", "%Err", "AUC")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s G%-3d %10d %7.0f%% %10d %7.0f%% %6.2f\n",
+			row.Task, row.Gesture, row.TrainSize, row.TrainErrPct, row.TestSize, row.TestErrPct, row.AUC)
+	}
+	return b.String()
+}

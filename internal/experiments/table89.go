@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/stats"
+)
+
+// PipelineSetup names one Table VIII row.
+type PipelineSetup struct {
+	Task     gesture.Task
+	Specific bool // gesture-specific library vs monolithic
+	Perfect  bool // ground-truth gesture boundaries
+}
+
+// String renders the setup as in Table VIII.
+func (s PipelineSetup) String() string {
+	switch {
+	case s.Specific && s.Perfect:
+		return fmt.Sprintf("gesture-specific, perfect boundaries (%v)", s.Task)
+	case s.Specific:
+		return fmt.Sprintf("gesture-specific with gesture classifier (%v)", s.Task)
+	default:
+		return fmt.Sprintf("non-gesture-specific (%v)", s.Task)
+	}
+}
+
+// PipelineOutcome couples a setup with its evaluation report.
+type PipelineOutcome struct {
+	Setup  PipelineSetup
+	Report *core.PipelineReport
+}
+
+// Table8Result holds every Table VIII row (and feeds Tables IX and
+// Figure 9, which reuse the same evaluations).
+type Table8Result struct {
+	Outcomes []PipelineOutcome
+}
+
+// RunTable8 trains and evaluates the full pipeline in the paper's five
+// setups: Suturing with perfect boundaries, with the gesture classifier,
+// and non-gesture-specific; Block Transfer with the gesture classifier and
+// non-gesture-specific.
+func RunTable8(o Options) (*Table8Result, error) {
+	res := &Table8Result{}
+
+	// ---- Suturing ----
+	demos, folds, err := o.suturingData()
+	if err != nil {
+		return nil, err
+	}
+	truths := truthsFor(demos)
+	fold := folds[0]
+	foldTruths := splitTruths(demos, truths, fold.Test)
+
+	o.log("table8: training Suturing gesture classifier")
+	gc, err := core.TrainGestureClassifier(fold.Train, o.gestureClassifierConfig(kinematics.AllFeatures()))
+	if err != nil {
+		return nil, err
+	}
+	o.log("table8: training Suturing error library")
+	lib, err := core.TrainErrorLibrary(fold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.AllFeatures(), 5))
+	if err != nil {
+		return nil, err
+	}
+	o.log("table8: training Suturing monolithic detector")
+	mono, err := core.TrainMonolithicDetector(fold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.AllFeatures(), 5))
+	if err != nil {
+		return nil, err
+	}
+
+	evalSetup := func(task gesture.Task, mon *core.Monitor, specific, perfect bool, test []*kinematics.Trajectory, tr [][]core.ErrorTruth) error {
+		rep, err := mon.Evaluate(test, tr)
+		if err != nil {
+			return err
+		}
+		res.Outcomes = append(res.Outcomes, PipelineOutcome{
+			Setup:  PipelineSetup{Task: task, Specific: specific, Perfect: perfect},
+			Report: rep,
+		})
+		return nil
+	}
+
+	perfectMon := core.NewMonitor(nil, lib)
+	perfectMon.UseGroundTruthGestures = true
+	if err := evalSetup(gesture.Suturing, perfectMon, true, true, fold.Test, foldTruths); err != nil {
+		return nil, err
+	}
+	if err := evalSetup(gesture.Suturing, core.NewMonitor(gc, lib), true, false, fold.Test, foldTruths); err != nil {
+		return nil, err
+	}
+	if err := evalSetup(gesture.Suturing, core.NewMonitor(nil, mono), false, false, fold.Test, foldTruths); err != nil {
+		return nil, err
+	}
+
+	// ---- Block Transfer ----
+	btTrajs, btTruths, err := o.blockTransferData()
+	if err != nil {
+		return nil, err
+	}
+	btFolds := dataset.LOSO(btTrajs)
+	btFold := btFolds[0]
+	btFoldTruths := make([][]core.ErrorTruth, len(btFold.Test))
+	idx := map[*kinematics.Trajectory]int{}
+	for i, tr := range btTrajs {
+		idx[tr] = i
+	}
+	for i, tr := range btFold.Test {
+		btFoldTruths[i] = btTruths[idx[tr]]
+	}
+
+	o.log("table8: training Block Transfer gesture classifier")
+	btGC, err := core.TrainGestureClassifier(btFold.Train, o.gestureClassifierConfig(kinematics.CG()))
+	if err != nil {
+		return nil, err
+	}
+	o.log("table8: training Block Transfer error library")
+	btLib, err := core.TrainErrorLibrary(btFold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.CG(), 10))
+	if err != nil {
+		return nil, err
+	}
+	o.log("table8: training Block Transfer monolithic detector")
+	btMono, err := core.TrainMonolithicDetector(btFold.Train, o.errorDetectorConfig(core.ArchConv, kinematics.CG(), 10))
+	if err != nil {
+		return nil, err
+	}
+	if err := evalSetup(gesture.BlockTransfer, core.NewMonitor(btGC, btLib), true, false, btFold.Test, btFoldTruths); err != nil {
+		return nil, err
+	}
+	if err := evalSetup(gesture.BlockTransfer, core.NewMonitor(nil, btMono), false, false, btFold.Test, btFoldTruths); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Find returns the outcome for a setup, or nil.
+func (r *Table8Result) Find(task gesture.Task, specific, perfect bool) *PipelineOutcome {
+	for i := range r.Outcomes {
+		s := r.Outcomes[i].Setup
+		if s.Task == task && s.Specific == specific && s.Perfect == perfect {
+			return &r.Outcomes[i]
+		}
+	}
+	return nil
+}
+
+// Render returns the Table VIII text.
+func (r *Table8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table VIII — overall pipeline with ground-truth vs predicted gestures:\n")
+	fmt.Fprintf(&b, "%-55s %6s %6s %10s %8s %9s\n", "Setup", "AUC", "F1", "React(ms)", "Early%", "Comp(ms)")
+	for _, out := range r.Outcomes {
+		rep := out.Report
+		fmt.Fprintf(&b, "%-55s %6.2f %6.2f %+8.0f  %7.1f%% %9.3f\n",
+			out.Setup, rep.AUC, rep.F1,
+			stats.Mean(rep.ReactionTimesMS), rep.EarlyDetectionPct, rep.ComputeTimeMS)
+	}
+	return b.String()
+}
+
+// Table9Result renders the per-gesture timeliness table from the Table VIII
+// evaluations (perfect vs predicted boundaries).
+type Table9Result struct {
+	Task      gesture.Task
+	Perfect   *core.PipelineReport
+	Predicted *core.PipelineReport
+}
+
+// RunTable9 reproduces Table IX for Suturing, reusing the Table VIII
+// pipeline evaluations.
+func RunTable9(o Options) (*Table9Result, error) {
+	t8, err := RunTable8(o)
+	if err != nil {
+		return nil, err
+	}
+	perfect := t8.Find(gesture.Suturing, true, true)
+	predicted := t8.Find(gesture.Suturing, true, false)
+	if perfect == nil || predicted == nil {
+		return nil, fmt.Errorf("table9: missing Suturing outcomes")
+	}
+	return &Table9Result{Task: gesture.Suturing, Perfect: perfect.Report, Predicted: predicted.Report}, nil
+}
+
+// Render returns the Table IX text.
+func (r *Table9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IX — effect of the pipeline components on accuracy (Suturing):\n")
+	fmt.Fprintf(&b, "%-4s | %-18s | %-60s\n", "G", "Perfect boundaries", "Gesture-specific pipeline")
+	fmt.Fprintf(&b, "%-4s | %8s %8s | %10s %8s %12s %10s %6s\n",
+		"", "React", "F1", "Jitter", "DetAcc", "ErrJitter", "React", "F1")
+	gs := map[int]bool{}
+	for g := range r.Perfect.PerGesture {
+		gs[g] = true
+	}
+	for g := range r.Predicted.PerGesture {
+		gs[g] = true
+	}
+	var sorted []int
+	for g := range gs {
+		sorted = append(sorted, g)
+	}
+	sort.Ints(sorted)
+	for _, g := range sorted {
+		pf := r.Perfect.PerGesture[g]
+		pr := r.Predicted.PerGesture[g]
+		fmt.Fprintf(&b, "G%-3d |", g)
+		if pf != nil && len(pf.ReactionMS) > 0 {
+			fmt.Fprintf(&b, " %+7.0f %8.2f |", stats.Mean(pf.ReactionMS), pf.F1())
+		} else {
+			fmt.Fprintf(&b, " %8s %8s |", "N/A", "N/A")
+		}
+		if pr != nil {
+			react := "N/A"
+			if len(pr.ReactionMS) > 0 {
+				react = fmt.Sprintf("%+.0f", stats.Mean(pr.ReactionMS))
+			}
+			fmt.Fprintf(&b, " %+9.0f %7.1f%% %+11.0f %10s %6.2f\n",
+				stats.Mean(pr.JitterMS), 100*pr.DetectionAccuracy,
+				stats.Mean(pr.JitterErroneousMS), react, pr.F1())
+		} else {
+			fmt.Fprintf(&b, " %10s\n", "N/A")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+)
+
+// Bucket is one row of the Table III campaign grid: ranges for the grasper
+// target S′, the grasper fault duration, the Cartesian deviation, the
+// Cartesian fault duration, and the number of injections to run.
+type Bucket struct {
+	GrasperLo, GrasperHi       float64 // rad
+	GrasperDurLo, GrasperDurHi float64 // fraction of trajectory
+	CartLo, CartHi             float64 // meters of Euclidean deviation
+	CartDurLo, CartDurHi       float64 // fraction of trajectory
+	Count                      int
+}
+
+// InjectionStartFrac is where the injection window begins as a fraction of
+// the trajectory: during the carry phase (after the grab completes at
+// ~0.2), so that long windows extend through the G11 drop gesture while
+// short ones end before the release completes (see DESIGN.md).
+const InjectionStartFrac = 0.30
+
+// Table3Grid returns the campaign grid reproducing Table III: seven grasper
+// target bands × two duration bands × two Cartesian deviation bands, with
+// the paper's per-cell injection counts (651 total).
+//
+// The paper expresses Cartesian deviation in raw control-software units
+// (3000–65000); we map them into workspace millimeters (0.6–35 mm of
+// commanded Euclidean deviation against a 20 mm receptacle radius),
+// preserving the "Cartesian deviation rarely causes failures" behaviour
+// with only occasional wrong-position drops, as in the paper (2 of 651).
+func Table3Grid() []Bucket {
+	type band struct{ gLo, gHi float64 }
+	bands := []band{
+		{0.30, 0.40}, {0.50, 0.60}, {0.70, 0.80}, {0.90, 1.00},
+		{1.10, 1.20}, {1.30, 1.40}, {1.50, 1.60},
+	}
+	// Per-band counts for the four sub-cells
+	// (shortDur×lowCart, shortDur×highCart, longDur×lowCart, longDur×highCart),
+	// following Table III.
+	counts := map[int][4]int{
+		0: {16, 8, 16, 16},
+		1: {16, 8, 16, 16},
+		2: {16, 8, 16, 16},
+		3: {58, 50, 16, 16},
+		4: {47, 74, 16, 16},
+		5: {41, 61, 16, 16},
+		6: {7, 17, 16, 16},
+	}
+	var grid []Bucket
+	for i, b := range bands {
+		c := counts[i]
+		cells := []struct {
+			durLo, durHi         float64
+			cartLo, cartHi       float64
+			cartDurLo, cartDurHi float64
+			n                    int
+		}{
+			{0.55, 0.70, 0.0006, 0.0012, 0.50, 0.60, c[0]},
+			{0.55, 0.70, 0.0012, 0.035, 0.50, 0.60, c[1]},
+			{0.65, 0.90, 0.0006, 0.0012, 0.70, 0.90, c[2]},
+			{0.65, 0.90, 0.0012, 0.035, 0.70, 0.90, c[3]},
+		}
+		for _, cell := range cells {
+			grid = append(grid, Bucket{
+				GrasperLo: b.gLo, GrasperHi: b.gHi,
+				GrasperDurLo: cell.durLo, GrasperDurHi: cell.durHi,
+				CartLo: cell.cartLo, CartHi: cell.cartHi,
+				CartDurLo: cell.cartDurLo, CartDurHi: cell.cartDurHi,
+				Count: cell.n,
+			})
+		}
+	}
+	return grid
+}
+
+// BucketResult aggregates campaign outcomes for one grid bucket.
+type BucketResult struct {
+	Bucket     Bucket
+	Injections int
+	BlockDrops int
+	Dropoffs   int
+	WrongPos   int
+}
+
+// CampaignConfig controls a fault-injection campaign.
+type CampaignConfig struct {
+	Seed int64
+	// Demos are the fault-free command streams to replay; when empty,
+	// NumDemos streams are generated at Hz.
+	Demos    []*kinematics.Trajectory
+	NumDemos int
+	Hz       float64
+	// KeepResults retains full simulator results (trajectories and video
+	// frames) on each Injection; leave false for large campaigns.
+	KeepResults bool
+	// RenderFPS enables the virtual camera when > 0.
+	RenderFPS float64
+}
+
+// CampaignResult is the full campaign outcome.
+type CampaignResult struct {
+	Buckets       []BucketResult
+	Injections    []Injection
+	Total         int
+	TotalDrops    int
+	TotalDropoffs int
+	TotalWrongPos int
+}
+
+// RunCampaign executes the grid against the simulator, pairing each
+// injection with a randomly chosen fault-free demonstration. Every
+// injection perturbs both the grasper angle and the Cartesian position of
+// the carrying arm, as in the paper's combined perturbation experiments.
+func RunCampaign(grid []Bucket, cfg CampaignConfig) (*CampaignResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	demos := cfg.Demos
+	if len(demos) == 0 {
+		n := cfg.NumDemos
+		if n <= 0 {
+			n = 20
+		}
+		hz := cfg.Hz
+		if hz <= 0 {
+			hz = 1000
+		}
+		demos = simulator.CollectFaultFree(cfg.Seed+1, n, 2, hz)
+	}
+
+	res := &CampaignResult{}
+	for _, b := range grid {
+		br := BucketResult{Bucket: b}
+		for k := 0; k < b.Count; k++ {
+			demoIdx := rng.Intn(len(demos))
+			demo := demos[demoIdx]
+
+			gf := Fault{
+				Variable:    GrasperAngle,
+				Target:      randIn(rng, b.GrasperLo, b.GrasperHi),
+				StartFrac:   InjectionStartFrac,
+				Duration:    randIn(rng, b.GrasperDurLo, b.GrasperDurHi),
+				Manipulator: kinematics.Left,
+			}
+			perturbed, ws, we, err := Inject(demo, gf)
+			if err != nil {
+				return nil, fmt.Errorf("grasper inject: %w", err)
+			}
+			cf := Fault{
+				Variable:    CartesianPosition,
+				Target:      randIn(rng, b.CartLo, b.CartHi),
+				StartFrac:   InjectionStartFrac,
+				Duration:    randIn(rng, b.CartDurLo, b.CartDurHi),
+				Manipulator: kinematics.Left,
+			}
+			perturbed, _, _, err = Inject(perturbed, cf)
+			if err != nil {
+				return nil, fmt.Errorf("cartesian inject: %w", err)
+			}
+
+			world := simulator.NewWorld(rng)
+			simRes := world.Run(perturbed, cfg.RenderFPS)
+
+			inj := Injection{
+				Fault:       gf,
+				DemoIndex:   demoIdx,
+				Outcome:     simRes.Outcome,
+				WindowStart: ws,
+				WindowEnd:   we,
+			}
+			if cfg.KeepResults {
+				inj.Result = simRes
+			}
+			res.Injections = append(res.Injections, inj)
+			br.Injections++
+			switch simRes.Outcome {
+			case simulator.BlockDropFailure:
+				br.BlockDrops++
+			case simulator.DropoffFailure:
+				br.Dropoffs++
+			case simulator.WrongPositionDrop:
+				br.WrongPos++
+			}
+		}
+		res.Buckets = append(res.Buckets, br)
+		res.Total += br.Injections
+		res.TotalDrops += br.BlockDrops
+		res.TotalDropoffs += br.Dropoffs
+		res.TotalWrongPos += br.WrongPos
+	}
+	return res, nil
+}
+
+// RenderTable renders the campaign result as the Table III layout.
+func (r *CampaignResult) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-11s %-14s %-11s %6s %11s %9s %9s\n",
+		"Grasper(rad)", "Dur(%traj)", "Cart dev (m)", "Dur(%traj)", "#Inj", "Block-drop", "Dropoff", "WrongPos")
+	for _, br := range r.Buckets {
+		bk := br.Bucket
+		fmt.Fprintf(&b, "%.2f-%.2f    %.2f-%.2f   %.3f-%.3f    %.2f-%.2f  %6d %5d (%3.0f%%) %3d (%3.0f%%) %5d\n",
+			bk.GrasperLo, bk.GrasperHi, bk.GrasperDurLo, bk.GrasperDurHi,
+			bk.CartLo, bk.CartHi, bk.CartDurLo, bk.CartDurHi,
+			br.Injections,
+			br.BlockDrops, pct(br.BlockDrops, br.Injections),
+			br.Dropoffs, pct(br.Dropoffs, br.Injections),
+			br.WrongPos)
+	}
+	fmt.Fprintf(&b, "Total: %d injections, %d block-drops, %d dropoffs, %d wrong-position\n",
+		r.Total, r.TotalDrops, r.TotalDropoffs, r.TotalWrongPos)
+	return b.String()
+}
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

@@ -1,0 +1,165 @@
+// Package faultinject implements the paper's software fault-injection tool
+// (§IV-B): it perturbs kinematic state variables — Grasper Angle and
+// Cartesian Position — of replayed trajectories to simulate the effect of
+// accidental faults, attacks, or human errors, and runs the Table III
+// campaign against the Block Transfer simulator.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+)
+
+// Variable identifies the targeted kinematic state variable V.
+type Variable int
+
+// Targeted variables.
+const (
+	GrasperAngle Variable = iota + 1
+	CartesianPosition
+)
+
+// String returns the variable name.
+func (v Variable) String() string {
+	switch v {
+	case GrasperAngle:
+		return "grasper angle"
+	case CartesianPosition:
+		return "cartesian position"
+	default:
+		return fmt.Sprintf("Variable(%d)", int(v))
+	}
+}
+
+// Fault characterizes one injection: the targeted variable V, the injected
+// value S′, and the injection window expressed as fractions of the
+// trajectory (the paper's duration D in "% Trajectory").
+type Fault struct {
+	Variable Variable
+	// Target is S′: radians for GrasperAngle; the Euclidean deviation
+	// δ = d(S′, S) in meters for CartesianPosition.
+	Target float64
+	// StartFrac and Duration bracket the injection window: it spans
+	// [StartFrac, StartFrac+Duration] of the trajectory (clamped to 1).
+	StartFrac float64
+	Duration  float64
+	// Manipulator is the targeted arm; the Block Transfer campaign
+	// targets the carrying (left) arm.
+	Manipulator kinematics.Manipulator
+	// RampRate is the per-second grasper-angle increment θ toward S′
+	// (Figure 6d). <= 0 uses a default of 2 rad/s.
+	RampRate float64
+}
+
+// ErrBadFault reports an invalid fault description.
+var ErrBadFault = errors.New("faultinject: invalid fault")
+
+// Validate checks the fault parameters.
+func (f Fault) Validate() error {
+	if f.Variable != GrasperAngle && f.Variable != CartesianPosition {
+		return fmt.Errorf("%w: unknown variable", ErrBadFault)
+	}
+	if f.Duration <= 0 || f.StartFrac < 0 || f.StartFrac >= 1 {
+		return fmt.Errorf("%w: window start=%v dur=%v", ErrBadFault, f.StartFrac, f.Duration)
+	}
+	if f.Manipulator != kinematics.Left && f.Manipulator != kinematics.Right {
+		return fmt.Errorf("%w: manipulator unset", ErrBadFault)
+	}
+	return nil
+}
+
+// Inject returns a perturbed copy of the command stream with the fault
+// applied, plus the [start, end) frame window of the injection. The
+// original trajectory is not modified, so the same fault-free demonstration
+// can be replayed under many faults (as in the paper).
+//
+// Grasper faults ramp the commanded angle by a constant increment per tick
+// until the target S′ is reached, then hold it for the window (Figure 6d).
+// Cartesian faults add a uniform deviation of δ/√3 to each of x, y, z over
+// the window (Figure 6c).
+func Inject(traj *kinematics.Trajectory, f Fault) (*kinematics.Trajectory, int, int, error) {
+	if err := f.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	out := traj.Clone()
+	n := len(out.Frames)
+	start := int(f.StartFrac * float64(n))
+	end := int((f.StartFrac + f.Duration) * float64(n))
+	if end > n {
+		end = n
+	}
+	if start >= end {
+		return nil, 0, 0, fmt.Errorf("%w: empty window", ErrBadFault)
+	}
+
+	switch f.Variable {
+	case GrasperAngle:
+		ramp := f.RampRate
+		if ramp <= 0 {
+			ramp = 2.0
+		}
+		perTick := ramp / out.HzRate
+		cur := out.Frames[start].GrasperAngle(f.Manipulator)
+		for i := start; i < end; i++ {
+			if cur < f.Target {
+				cur += perTick
+				if cur > f.Target {
+					cur = f.Target
+				}
+			} else if cur > f.Target {
+				cur -= perTick
+				if cur < f.Target {
+					cur = f.Target
+				}
+			}
+			out.Frames[i].SetGrasperAngle(f.Manipulator, cur)
+		}
+	case CartesianPosition:
+		// Uniform positive deviation in all three axes: δ/√3 each,
+		// ramped on over the first 10% of the window to avoid an
+		// instantaneous teleport that the controller would reject.
+		per := f.Target / math.Sqrt(3)
+		rampLen := (end - start) / 10
+		if rampLen < 1 {
+			rampLen = 1
+		}
+		for i := start; i < end; i++ {
+			scale := 1.0
+			if i-start < rampLen {
+				scale = float64(i-start+1) / float64(rampLen)
+			}
+			x, y, z := out.Frames[i].Cartesian(f.Manipulator)
+			out.Frames[i].SetCartesian(f.Manipulator, x+per*scale, y+per*scale, z+per*scale)
+		}
+	}
+	// Mark the injected window unsafe in the command-side ground truth.
+	if len(out.Unsafe) == n {
+		for i := start; i < end; i++ {
+			out.Unsafe[i] = true
+		}
+	}
+	return out, start, end, nil
+}
+
+// Injection is one campaign run: the fault, the replayed demonstration
+// index, and the simulator outcome.
+type Injection struct {
+	Fault     Fault
+	DemoIndex int
+	Outcome   simulator.FailureMode
+	// Result carries the full simulator output when the campaign is run
+	// with KeepResults.
+	Result *simulator.Result
+	// WindowStart/WindowEnd are the injected frame range.
+	WindowStart, WindowEnd int
+}
+
+// randIn draws uniformly from [lo, hi).
+func randIn(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}

@@ -1,0 +1,222 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+)
+
+func commandStream(t *testing.T) *kinematics.Trajectory {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cfg := simulator.DefaultCommandConfig()
+	cfg.Hz = 200
+	return simulator.GenerateCommands(rng, cfg)
+}
+
+func TestFaultValidate(t *testing.T) {
+	good := Fault{Variable: GrasperAngle, Target: 1.2, StartFrac: 0.3, Duration: 0.5, Manipulator: kinematics.Left}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid fault rejected: %v", err)
+	}
+	bad := []Fault{
+		{Variable: 0, Target: 1, StartFrac: 0.3, Duration: 0.5, Manipulator: kinematics.Left},
+		{Variable: GrasperAngle, StartFrac: -0.1, Duration: 0.5, Manipulator: kinematics.Left},
+		{Variable: GrasperAngle, StartFrac: 0.3, Duration: 0, Manipulator: kinematics.Left},
+		{Variable: GrasperAngle, StartFrac: 0.3, Duration: 0.5},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad fault %d accepted", i)
+		}
+	}
+}
+
+func TestInjectGrasperRampsToTarget(t *testing.T) {
+	traj := commandStream(t)
+	f := Fault{
+		Variable: GrasperAngle, Target: 1.5,
+		StartFrac: 0.3, Duration: 0.4,
+		Manipulator: kinematics.Left, RampRate: 2,
+	}
+	out, start, end, err := Inject(traj, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start >= end || start != int(0.3*float64(len(traj.Frames))) {
+		t.Fatalf("window [%d,%d)", start, end)
+	}
+	// Original untouched.
+	for i := range traj.Frames {
+		if traj.Frames[i].GrasperAngle(kinematics.Left) > 1.4 {
+			t.Fatal("original trajectory was modified")
+		}
+	}
+	// Ramp: angle increases by at most RampRate/Hz per tick.
+	maxStep := 2.0/traj.HzRate + 1e-9
+	for i := start + 1; i < end; i++ {
+		a0 := out.Frames[i-1].GrasperAngle(kinematics.Left)
+		a1 := out.Frames[i].GrasperAngle(kinematics.Left)
+		if a1-a0 > maxStep {
+			t.Fatalf("ramp step %v exceeds %v at %d", a1-a0, maxStep, i)
+		}
+	}
+	// Target reached and held by mid-window.
+	mid := (start + end) / 2
+	if got := out.Frames[mid].GrasperAngle(kinematics.Left); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("angle at mid-window %v, want 1.5", got)
+	}
+	// Frames outside the window untouched.
+	if out.Frames[start-1].GrasperAngle(kinematics.Left) != traj.Frames[start-1].GrasperAngle(kinematics.Left) {
+		t.Error("frame before window modified")
+	}
+	// Injected window is marked unsafe.
+	for i := start; i < end; i++ {
+		if !out.Unsafe[i] {
+			t.Fatal("injected frames not marked unsafe")
+		}
+	}
+}
+
+func TestInjectCartesianDeviation(t *testing.T) {
+	traj := commandStream(t)
+	const delta = 0.009
+	f := Fault{
+		Variable: CartesianPosition, Target: delta,
+		StartFrac: 0.4, Duration: 0.3,
+		Manipulator: kinematics.Left,
+	}
+	out, start, end, err := Inject(traj, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := delta / math.Sqrt(3)
+	// After the ramp, each axis is offset by exactly delta/sqrt(3).
+	i := start + (end-start)/2
+	x0, y0, z0 := traj.Frames[i].Cartesian(kinematics.Left)
+	x1, y1, z1 := out.Frames[i].Cartesian(kinematics.Left)
+	for _, d := range []float64{x1 - x0, y1 - y0, z1 - z0} {
+		if math.Abs(d-per) > 1e-9 {
+			t.Errorf("axis deviation %v, want %v", d, per)
+		}
+	}
+	// Total Euclidean deviation equals delta.
+	dist := math.Sqrt(3) * per
+	if math.Abs(dist-delta) > 1e-9 {
+		t.Errorf("euclidean deviation %v, want %v", dist, delta)
+	}
+}
+
+func TestInjectRejectsEmptyWindow(t *testing.T) {
+	traj := commandStream(t)
+	f := Fault{Variable: GrasperAngle, Target: 1, StartFrac: 0.999, Duration: 0.0001, Manipulator: kinematics.Left}
+	if _, _, _, err := Inject(traj, f); err == nil {
+		t.Error("expected empty-window error")
+	}
+}
+
+func TestTable3GridCounts(t *testing.T) {
+	grid := Table3Grid()
+	if len(grid) != 28 {
+		t.Fatalf("grid has %d buckets, want 28", len(grid))
+	}
+	total := 0
+	for _, b := range grid {
+		total += b.Count
+		if b.GrasperLo >= b.GrasperHi || b.GrasperDurLo >= b.GrasperDurHi {
+			t.Errorf("degenerate bucket %+v", b)
+		}
+	}
+	if total != 651 {
+		t.Errorf("total injections %d, want 651 as in Table III", total)
+	}
+}
+
+func TestCampaignSmallGridShape(t *testing.T) {
+	// A reduced campaign must reproduce the Table III crossovers:
+	// low angle + short duration harmless; low angle + long duration
+	// dropoff; high angle block-drop regardless of duration.
+	grid := []Bucket{
+		{GrasperLo: 0.3, GrasperHi: 0.4, GrasperDurLo: 0.55, GrasperDurHi: 0.60,
+			CartLo: 0.0006, CartHi: 0.0012, CartDurLo: 0.50, CartDurHi: 0.60, Count: 8},
+		{GrasperLo: 0.3, GrasperHi: 0.4, GrasperDurLo: 0.80, GrasperDurHi: 0.90,
+			CartLo: 0.0006, CartHi: 0.0012, CartDurLo: 0.70, CartDurHi: 0.90, Count: 8},
+		{GrasperLo: 1.4, GrasperHi: 1.6, GrasperDurLo: 0.55, GrasperDurHi: 0.70,
+			CartLo: 0.0006, CartHi: 0.0012, CartDurLo: 0.50, CartDurHi: 0.60, Count: 8},
+	}
+	res, err := RunCampaign(grid, CampaignConfig{Seed: 3, NumDemos: 6, Hz: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 24 {
+		t.Fatalf("ran %d injections", res.Total)
+	}
+	harmless := res.Buckets[0]
+	if harmless.BlockDrops+harmless.Dropoffs > 1 {
+		t.Errorf("short low-angle faults caused %d drops + %d dropoffs, expected ~0",
+			harmless.BlockDrops, harmless.Dropoffs)
+	}
+	dropoff := res.Buckets[1]
+	if dropoff.Dropoffs < 6 {
+		t.Errorf("long low-angle faults caused only %d/8 dropoffs", dropoff.Dropoffs)
+	}
+	drops := res.Buckets[2]
+	if drops.BlockDrops < 7 {
+		t.Errorf("high-angle faults caused only %d/8 block-drops", drops.BlockDrops)
+	}
+}
+
+func TestCampaignKeepResults(t *testing.T) {
+	grid := []Bucket{{
+		GrasperLo: 1.4, GrasperHi: 1.5, GrasperDurLo: 0.5, GrasperDurHi: 0.6,
+		CartLo: 0.0006, CartHi: 0.0012, CartDurLo: 0.5, CartDurHi: 0.6, Count: 2,
+	}}
+	res, err := RunCampaign(grid, CampaignConfig{Seed: 4, NumDemos: 2, Hz: 100, KeepResults: true, RenderFPS: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range res.Injections {
+		if inj.Result == nil {
+			t.Fatal("KeepResults did not retain simulator output")
+		}
+		if len(inj.Result.Frames) == 0 {
+			t.Fatal("camera frames missing")
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	grid := Table3Grid()[:2]
+	a, err := RunCampaign(grid, CampaignConfig{Seed: 5, NumDemos: 3, Hz: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(grid, CampaignConfig{Seed: 5, NumDemos: 3, Hz: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDrops != b.TotalDrops || a.TotalDropoffs != b.TotalDropoffs {
+		t.Error("campaign not deterministic for fixed seed")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	grid := Table3Grid()[:1]
+	res, err := RunCampaign(grid, CampaignConfig{Seed: 6, NumDemos: 2, Hz: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.RenderTable()
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestVariableString(t *testing.T) {
+	if GrasperAngle.String() == "" || CartesianPosition.String() == "" {
+		t.Error("empty variable names")
+	}
+}

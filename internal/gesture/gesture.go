@@ -1,0 +1,125 @@
+// Package gesture defines the surgical gesture taxonomy, the gesture-specific
+// error rubric (Table II of the paper), and Markov-chain task grammars
+// (Figure 3) for the Suturing and Block Transfer tasks.
+package gesture
+
+import "fmt"
+
+// Gesture identifies an atomic surgical gesture (surgeme) following the
+// JIGSAWS vocabulary G1..G15. G7 is unused, as in the dataset.
+type Gesture int
+
+// Gesture vocabulary. Values match the JIGSAWS indices so annotations are
+// directly comparable with the literature.
+const (
+	G1  Gesture = 1  // reaching for needle with right hand
+	G2  Gesture = 2  // positioning needle
+	G3  Gesture = 3  // pushing needle through the tissue
+	G4  Gesture = 4  // transferring needle from left to right
+	G5  Gesture = 5  // moving to center with needle in grip
+	G6  Gesture = 6  // pulling suture with left hand
+	G8  Gesture = 8  // orienting needle
+	G9  Gesture = 9  // using right hand to help tighten suture
+	G10 Gesture = 10 // loosening more suture
+	G11 Gesture = 11 // dropping suture and moving to end points
+	G12 Gesture = 12 // reaching for needle with left hand
+	G13 Gesture = 13 // making C loop around right hand
+	G14 Gesture = 14 // reaching for suture with right hand
+	G15 Gesture = 15 // pulling suture with both hands
+
+	// MaxGesture is the highest gesture index; classifier outputs are
+	// one-hot vectors over 0..MaxGesture as in the paper (Equation 2).
+	MaxGesture = 15
+)
+
+// NumClasses is the size of the gesture one-hot vector (index 0 reserved
+// for "no gesture / unlabeled").
+const NumClasses = MaxGesture + 1
+
+// String returns the canonical short name ("G4").
+func (g Gesture) String() string {
+	if g <= 0 || g > MaxGesture {
+		return fmt.Sprintf("G?(%d)", int(g))
+	}
+	return fmt.Sprintf("G%d", int(g))
+}
+
+// Description returns the long-form gesture description.
+func (g Gesture) Description() string {
+	switch g {
+	case G1:
+		return "reaching for needle with right hand"
+	case G2:
+		return "positioning needle"
+	case G3:
+		return "pushing needle through the tissue"
+	case G4:
+		return "transferring needle from left to right"
+	case G5:
+		return "moving to center with needle in grip"
+	case G6:
+		return "pulling suture with left hand"
+	case G8:
+		return "orienting needle"
+	case G9:
+		return "using right hand to help tighten suture"
+	case G10:
+		return "loosening more suture"
+	case G11:
+		return "dropping suture and moving to end points"
+	case G12:
+		return "reaching for needle with left hand"
+	case G13:
+		return "making C loop around right hand"
+	case G14:
+		return "reaching for suture with right hand"
+	case G15:
+		return "pulling suture with both hands"
+	default:
+		return "unknown gesture"
+	}
+}
+
+// Task identifies a surgical training task.
+type Task int
+
+// Tasks evaluated in the paper: the three JIGSAWS dry-lab tasks on the dVRK
+// plus Block Transfer on the Raven II simulator.
+const (
+	Suturing Task = iota + 1
+	KnotTying
+	NeedlePassing
+	BlockTransfer
+)
+
+// String returns the task name as used in the paper's tables.
+func (t Task) String() string {
+	switch t {
+	case Suturing:
+		return "Suturing"
+	case KnotTying:
+		return "Knot Tying"
+	case NeedlePassing:
+		return "Needle Passing"
+	case BlockTransfer:
+		return "Block Transfer"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// Vocabulary returns the gestures that occur in the task.
+func (t Task) Vocabulary() []Gesture {
+	switch t {
+	case Suturing:
+		return []Gesture{G1, G2, G3, G4, G5, G6, G8, G9, G10, G11}
+	case KnotTying:
+		return []Gesture{G1, G11, G12, G13, G14, G15}
+	case NeedlePassing:
+		return []Gesture{G1, G2, G3, G4, G5, G6, G8, G11}
+	case BlockTransfer:
+		return []Gesture{G2, G12, G6, G5, G11}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,187 @@
+package kinematics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FeatureGroup identifies a subset of kinematic variables, used for the
+// feature-ablation experiments in Tables V and VI (Cartesian, Rotation,
+// Grasper angle, velocities).
+type FeatureGroup int
+
+// Feature groups. The paper ablates over combinations of Cartesian position
+// (C), rotation matrix (R), grasper angle (G) and joint/velocity terms (J);
+// the dVRK recordings expose velocities rather than joint angles, so J maps
+// to the velocity block here.
+const (
+	FeatCartesian FeatureGroup = iota + 1
+	FeatRotation
+	FeatGrasper
+	FeatVelocity
+)
+
+// String returns the single-letter code used in the paper's tables.
+func (g FeatureGroup) String() string {
+	switch g {
+	case FeatCartesian:
+		return "C"
+	case FeatRotation:
+		return "R"
+	case FeatGrasper:
+		return "G"
+	case FeatVelocity:
+		return "J"
+	default:
+		return fmt.Sprintf("FeatureGroup(%d)", int(g))
+	}
+}
+
+// FeatureSet is a selection of feature groups applied to both manipulators.
+type FeatureSet []FeatureGroup
+
+// AllFeatures selects every kinematic variable (the paper's "All" setup).
+func AllFeatures() FeatureSet {
+	return FeatureSet{FeatCartesian, FeatRotation, FeatGrasper, FeatVelocity}
+}
+
+// CRG selects Cartesian + Rotation + Grasper, the best-performing subset for
+// Suturing in Table V.
+func CRG() FeatureSet { return FeatureSet{FeatCartesian, FeatRotation, FeatGrasper} }
+
+// CG selects Cartesian + Grasper, the subset used for Block Transfer in
+// Table VI.
+func CG() FeatureSet { return FeatureSet{FeatCartesian, FeatGrasper} }
+
+// String renders the set as the paper's comma-separated code ("C,R,G").
+func (s FeatureSet) String() string {
+	if len(s) == 4 {
+		return "All"
+	}
+	parts := make([]string, len(s))
+	for i, g := range s {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Indices returns the frame indices selected by the set, for both
+// manipulators, in ascending order.
+func (s FeatureSet) Indices() []int {
+	var idx []int
+	for m := 0; m < NumManipulators; m++ {
+		base := m * VarsPerManipulator
+		for _, g := range s {
+			switch g {
+			case FeatCartesian:
+				for i := 0; i < cartesianCount; i++ {
+					idx = append(idx, base+OffCartesian+i)
+				}
+			case FeatRotation:
+				for i := 0; i < rotationCount; i++ {
+					idx = append(idx, base+OffRotation+i)
+				}
+			case FeatGrasper:
+				idx = append(idx, base+OffGrasper)
+			case FeatVelocity:
+				for i := 0; i < linVelCount; i++ {
+					idx = append(idx, base+OffLinearVel+i)
+				}
+				for i := 0; i < angVelCount; i++ {
+					idx = append(idx, base+OffAngularVel+i)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Dim returns the number of features selected per frame.
+func (s FeatureSet) Dim() int { return len(s.Indices()) }
+
+// Extract projects a frame onto the feature set, appending to dst and
+// returning the extended slice. Pass nil dst to allocate.
+func (s FeatureSet) Extract(f *Frame, dst []float64) []float64 {
+	for _, i := range s.Indices() {
+		dst = append(dst, f[i])
+	}
+	return dst
+}
+
+// Matrix extracts the selected features for every frame of a trajectory as
+// a [T][D] matrix.
+func (s FeatureSet) Matrix(t *Trajectory) [][]float64 {
+	idx := s.Indices()
+	out := make([][]float64, len(t.Frames))
+	for i := range t.Frames {
+		row := make([]float64, len(idx))
+		for j, k := range idx {
+			row[j] = t.Frames[i][k]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Standardizer performs per-feature z-score normalization fitted on training
+// data. It substitutes for the paper's batch-normalization + scikit-learn
+// preprocessing stage.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-column mean and standard deviation over rows.
+// Columns with zero variance get Std 1 so transformation is a no-op there.
+func FitStandardizer(rows [][]float64) *Standardizer {
+	if len(rows) == 0 {
+		return &Standardizer{}
+	}
+	d := len(rows[0])
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	n := float64(len(rows))
+	for j := range mean {
+		mean[j] /= n
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] < 1e-12 {
+			std[j] = 1
+		}
+	}
+	return &Standardizer{Mean: mean, Std: std}
+}
+
+// Transform standardizes a row in place and returns it.
+func (s *Standardizer) Transform(row []float64) []float64 {
+	for j := range row {
+		if j < len(s.Mean) {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return row
+}
+
+// TransformAll standardizes every row in place and returns rows.
+func (s *Standardizer) TransformAll(rows [][]float64) [][]float64 {
+	for _, r := range rows {
+		s.Transform(r)
+	}
+	return rows
+}
+
+// Dim returns the dimensionality the standardizer was fitted on.
+func (s *Standardizer) Dim() int { return len(s.Mean) }

@@ -1,0 +1,98 @@
+package nn
+
+import "math/rand"
+
+// StackedLSTMConfig describes the gesture-classifier architecture from the
+// paper: stacked LSTM layers, a fully connected ReLU layer, and a softmax
+// classification head ("a 2 layer stacked LSTM ... comprising of 512 and 96
+// LSTM units respectively, followed by a fully-connected layer with 64
+// units and a final softmax layer"). Sizes are configurable so experiments
+// can use CPU-scale variants of the same architecture.
+type StackedLSTMConfig struct {
+	InputDim   int
+	LSTMUnits  []int // hidden sizes of the stacked LSTM layers
+	DenseUnits int   // fully connected layer width (0 to skip)
+	NumClasses int
+	Dropout    float64
+}
+
+// BuildStackedLSTM constructs the paper's stacked-LSTM classifier.
+func BuildStackedLSTM(rng *rand.Rand, cfg StackedLSTMConfig) *Network {
+	var layers []Layer
+	in := cfg.InputDim
+	for _, h := range cfg.LSTMUnits {
+		layers = append(layers, NewLSTM(rng, in, h))
+		in = h
+	}
+	layers = append(layers, &TakeLast{})
+	if cfg.Dropout > 0 {
+		layers = append(layers, NewDropout(rng, cfg.Dropout))
+	}
+	if cfg.DenseUnits > 0 {
+		layers = append(layers, NewDense(rng, in, cfg.DenseUnits), &ReLU{})
+		in = cfg.DenseUnits
+	}
+	layers = append(layers, NewDense(rng, in, cfg.NumClasses))
+	return NewNetwork(layers...)
+}
+
+// Conv1DConfig describes the 1D-CNN erroneous-gesture detector: Conv1D
+// feature extraction, ReLU, global max pooling over time, fully connected
+// head ("Conv 512,128,32,16*" rows of Tables V/VI, where * marks the fully
+// connected layer).
+type Conv1DConfig struct {
+	InputDim   int
+	ConvUnits  []int // output channels of the stacked Conv1D layers
+	KernelSize int
+	DenseUnits int
+	NumClasses int
+	Dropout    float64
+}
+
+// BuildConv1D constructs the paper's 1D-CNN classifier.
+func BuildConv1D(rng *rand.Rand, cfg Conv1DConfig) *Network {
+	k := cfg.KernelSize
+	if k <= 0 {
+		k = 3
+	}
+	var layers []Layer
+	in := cfg.InputDim
+	for _, c := range cfg.ConvUnits {
+		layers = append(layers, NewConv1D(rng, in, c, k), &ReLU{})
+		in = c
+	}
+	layers = append(layers, &GlobalMaxPool{})
+	if cfg.Dropout > 0 {
+		layers = append(layers, NewDropout(rng, cfg.Dropout))
+	}
+	if cfg.DenseUnits > 0 {
+		layers = append(layers, NewDense(rng, in, cfg.DenseUnits), &ReLU{})
+		in = cfg.DenseUnits
+	}
+	layers = append(layers, NewDense(rng, in, cfg.NumClasses))
+	return NewNetwork(layers...)
+}
+
+// MLPConfig describes a plain multi-layer perceptron over flattened
+// windows, used as a light-weight ablation model.
+type MLPConfig struct {
+	InputDim   int // flattened window size (T*D)
+	Hidden     []int
+	NumClasses int
+	Dropout    float64
+}
+
+// BuildMLP constructs a flatten + dense-stack classifier.
+func BuildMLP(rng *rand.Rand, cfg MLPConfig) *Network {
+	layers := []Layer{&Flatten{}}
+	in := cfg.InputDim
+	for _, h := range cfg.Hidden {
+		layers = append(layers, NewDense(rng, in, h), &ReLU{})
+		if cfg.Dropout > 0 {
+			layers = append(layers, NewDropout(rng, cfg.Dropout))
+		}
+		in = h
+	}
+	layers = append(layers, NewDense(rng, in, cfg.NumClasses))
+	return NewNetwork(layers...)
+}

@@ -1,0 +1,98 @@
+package nn
+
+import "math/rand"
+
+// Conv1D is a one-dimensional convolution along the time axis with valid
+// padding and stride 1: input [T][In] -> output [T-K+1][Out]. It is the
+// building block of the 1D-CNN erroneous-gesture detectors (Tables V/VI).
+type Conv1D struct {
+	In, Out, K int
+
+	Weight *Param // Out x K x In, row major
+	Bias   *Param // Out
+
+	lastIn [][]float64
+}
+
+var _ Layer = (*Conv1D)(nil)
+
+// NewConv1D constructs a Conv1D layer with kernel size k and
+// Glorot-initialized weights.
+func NewConv1D(rng *rand.Rand, in, out, k int) *Conv1D {
+	c := &Conv1D{
+		In:     in,
+		Out:    out,
+		K:      k,
+		Weight: newParam("conv1d.W", out*k*in),
+		Bias:   newParam("conv1d.b", out),
+	}
+	glorotInit(rng, c.Weight.W, in*k, out)
+	return c
+}
+
+// Forward implements Layer. Inputs shorter than the kernel produce a single
+// output step computed over the (zero-padded) available frames so that the
+// layer degrades gracefully at stream start.
+func (c *Conv1D) Forward(x [][]float64, _ bool) [][]float64 {
+	c.lastIn = x
+	T := len(x)
+	outT := T - c.K + 1
+	if outT < 1 {
+		outT = 1
+	}
+	out := seq(outT, c.Out)
+	for t := 0; t < outT; t++ {
+		for o := 0; o < c.Out; o++ {
+			sum := c.Bias.W[o]
+			for k := 0; k < c.K; k++ {
+				ti := t + k
+				if ti >= T {
+					break
+				}
+				row := c.Weight.W[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
+				xt := x[ti]
+				for i := 0; i < c.In; i++ {
+					sum += row[i] * xt[i]
+				}
+			}
+			out[t][o] = sum
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(gradOut [][]float64) [][]float64 {
+	T := len(c.lastIn)
+	gradIn := seq(T, c.In)
+	for t := range gradOut {
+		for o := 0; o < c.Out; o++ {
+			g := gradOut[t][o]
+			if g == 0 {
+				continue
+			}
+			c.Bias.G[o] += g
+			for k := 0; k < c.K; k++ {
+				ti := t + k
+				if ti >= T {
+					break
+				}
+				wRow := c.Weight.W[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
+				gRow := c.Weight.G[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
+				xt := c.lastIn[ti]
+				gi := gradIn[ti]
+				for i := 0; i < c.In; i++ {
+					gRow[i] += g * xt[i]
+					gi[i] += g * wRow[i]
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutDim implements Layer.
+func (c *Conv1D) OutDim(int) int { return c.Out }

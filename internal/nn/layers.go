@@ -1,0 +1,335 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dense is a fully connected layer applied independently to every timestep:
+// y_t = W x_t + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param // Out x In, row major
+	Bias    *Param // Out
+
+	lastIn [][]float64
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a dense layer with Glorot-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		Weight: newParam("dense.W", in*out),
+		Bias:   newParam("dense.b", out),
+	}
+	glorotInit(rng, d.Weight.W, in, out)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x [][]float64, _ bool) [][]float64 {
+	d.lastIn = x
+	out := seq(len(x), d.Out)
+	for t := range x {
+		for o := 0; o < d.Out; o++ {
+			sum := d.Bias.W[o]
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			xt := x[t]
+			for i := 0; i < d.In; i++ {
+				sum += row[i] * xt[i]
+			}
+			out[t][o] = sum
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := seq(len(gradOut), d.In)
+	for t := range gradOut {
+		xt := d.lastIn[t]
+		gt := gradOut[t]
+		for o := 0; o < d.Out; o++ {
+			go_ := gt[o]
+			if go_ == 0 {
+				continue
+			}
+			d.Bias.G[o] += go_
+			wRow := d.Weight.W[o*d.In : (o+1)*d.In]
+			gRow := d.Weight.G[o*d.In : (o+1)*d.In]
+			gi := gradIn[t]
+			for i := 0; i < d.In; i++ {
+				gRow[i] += go_ * xt[i]
+				gi[i] += go_ * wRow[i]
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// OutDim implements Layer.
+func (d *Dense) OutDim(int) int { return d.Out }
+
+// ReLU is the rectified linear activation applied elementwise.
+type ReLU struct {
+	lastIn [][]float64
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x [][]float64, _ bool) [][]float64 {
+	r.lastIn = x
+	if len(x) == 0 {
+		return x
+	}
+	out := seq(len(x), len(x[0]))
+	for t := range x {
+		for i, v := range x[t] {
+			if v > 0 {
+				out[t][i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut [][]float64) [][]float64 {
+	if len(gradOut) == 0 {
+		return gradOut
+	}
+	gradIn := seq(len(gradOut), len(gradOut[0]))
+	for t := range gradOut {
+		for i := range gradOut[t] {
+			if r.lastIn[t][i] > 0 {
+				gradIn[t][i] = gradOut[t][i]
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim(in int) int { return in }
+
+// Tanh is the hyperbolic-tangent activation applied elementwise.
+type Tanh struct {
+	lastOut [][]float64
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// Forward implements Layer.
+func (a *Tanh) Forward(x [][]float64, _ bool) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	out := seq(len(x), len(x[0]))
+	for t := range x {
+		for i, v := range x[t] {
+			out[t][i] = math.Tanh(v)
+		}
+	}
+	a.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (a *Tanh) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := seq(len(gradOut), len(gradOut[0]))
+	for t := range gradOut {
+		for i := range gradOut[t] {
+			y := a.lastOut[t][i]
+			gradIn[t][i] = gradOut[t][i] * (1 - y*y)
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (a *Tanh) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (a *Tanh) OutDim(in int) int { return in }
+
+// Dropout zeroes each activation with probability P during training and
+// scales survivors by 1/(1-P) (inverted dropout), so inference is identity.
+type Dropout struct {
+	P   float64
+	Rng *rand.Rand
+
+	mask [][]float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	return &Dropout{P: p, Rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	out := seq(len(x), len(x[0]))
+	d.mask = seq(len(x), len(x[0]))
+	for t := range x {
+		for i, v := range x[t] {
+			if d.Rng.Float64() < keep {
+				m := 1 / keep
+				d.mask[t][i] = m
+				out[t][i] = v * m
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut [][]float64) [][]float64 {
+	if d.mask == nil {
+		return gradOut
+	}
+	gradIn := seq(len(gradOut), len(gradOut[0]))
+	for t := range gradOut {
+		for i := range gradOut[t] {
+			gradIn[t][i] = gradOut[t][i] * d.mask[t][i]
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (d *Dropout) OutDim(in int) int { return in }
+
+// TakeLast reduces a sequence to its final timestep: [T][D] -> [1][D].
+// It is the standard readout for sequence classification with LSTMs.
+type TakeLast struct {
+	lastT int
+}
+
+var _ Layer = (*TakeLast)(nil)
+
+// Forward implements Layer.
+func (l *TakeLast) Forward(x [][]float64, _ bool) [][]float64 {
+	l.lastT = len(x)
+	if len(x) == 0 {
+		return x
+	}
+	return x[len(x)-1:]
+}
+
+// Backward implements Layer.
+func (l *TakeLast) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := seq(l.lastT, len(gradOut[0]))
+	copy(gradIn[l.lastT-1], gradOut[0])
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *TakeLast) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (l *TakeLast) OutDim(in int) int { return in }
+
+// GlobalMaxPool reduces a sequence by taking the per-feature maximum over
+// time: [T][D] -> [1][D]. It is the readout used after the Conv1D stack.
+type GlobalMaxPool struct {
+	argmax []int
+	lastT  int
+}
+
+var _ Layer = (*GlobalMaxPool)(nil)
+
+// Forward implements Layer.
+func (g *GlobalMaxPool) Forward(x [][]float64, _ bool) [][]float64 {
+	g.lastT = len(x)
+	if len(x) == 0 {
+		return x
+	}
+	d := len(x[0])
+	out := seq(1, d)
+	g.argmax = make([]int, d)
+	for i := 0; i < d; i++ {
+		best, bestT := x[0][i], 0
+		for t := 1; t < len(x); t++ {
+			if x[t][i] > best {
+				best, bestT = x[t][i], t
+			}
+		}
+		out[0][i] = best
+		g.argmax[i] = bestT
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GlobalMaxPool) Backward(gradOut [][]float64) [][]float64 {
+	d := len(gradOut[0])
+	gradIn := seq(g.lastT, d)
+	for i := 0; i < d; i++ {
+		gradIn[g.argmax[i]][i] = gradOut[0][i]
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (g *GlobalMaxPool) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (g *GlobalMaxPool) OutDim(in int) int { return in }
+
+// Flatten concatenates all timesteps into a single feature vector:
+// [T][D] -> [1][T*D]. The sequence length must be fixed across samples.
+type Flatten struct {
+	lastT, lastD int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x [][]float64, _ bool) [][]float64 {
+	f.lastT = len(x)
+	if len(x) == 0 {
+		return x
+	}
+	f.lastD = len(x[0])
+	out := seq(1, f.lastT*f.lastD)
+	for t := range x {
+		copy(out[0][t*f.lastD:(t+1)*f.lastD], x[t])
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := seq(f.lastT, f.lastD)
+	for t := 0; t < f.lastT; t++ {
+		copy(gradIn[t], gradOut[0][t*f.lastD:(t+1)*f.lastD])
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutDim implements Layer.
+func (f *Flatten) OutDim(in int) int { return in } // true dim depends on T; validated at runtime

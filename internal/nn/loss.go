@@ -1,0 +1,66 @@
+package nn
+
+import "math"
+
+// Softmax converts logits into a probability distribution, numerically
+// stabilized by max subtraction.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxL := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxL)
+		sum += out[i]
+	}
+	if sum > 0 {
+		for i := range out {
+			out[i] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss computes the categorical cross-entropy of softmax(logits)
+// against a target class index, together with the gradient of the loss with
+// respect to the logits (probs - onehot).
+func CrossEntropyLoss(logits []float64, target int) (loss float64, grad []float64) {
+	probs := Softmax(logits)
+	grad = probs
+	p := probs[target]
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	loss = -math.Log(p)
+	grad[target] -= 1
+	return loss, grad
+}
+
+// WeightedCrossEntropyLoss is CrossEntropyLoss with a per-class weight
+// multiplied into both loss and gradient, used to handle class imbalance in
+// the safe/unsafe detection stage.
+func WeightedCrossEntropyLoss(logits []float64, target int, weight float64) (float64, []float64) {
+	loss, grad := CrossEntropyLoss(logits, target)
+	for i := range grad {
+		grad[i] *= weight
+	}
+	return loss * weight, grad
+}
+
+// Argmax returns the index of the maximum element, or -1 for empty input.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best, bestI := xs[0], 0
+	for i, v := range xs[1:] {
+		if v > best {
+			best, bestI = v, i+1
+		}
+	}
+	return bestI
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single long short-term memory layer processing a sequence
+// [T][In] into hidden states [T][Hidden], with full backpropagation through
+// time over the window. Gate layout in the packed weight matrices is
+// (input, forget, cell, output).
+//
+// The layer also supports stateful streaming via Step, which the online
+// monitor uses to process one kinematics sample at a time without
+// re-running the whole window.
+type LSTM struct {
+	In, Hidden int
+
+	Wx *Param // 4*Hidden x In, input-to-gates
+	Wh *Param // 4*Hidden x Hidden, hidden-to-gates
+	B  *Param // 4*Hidden
+
+	// caches for BPTT
+	xs              [][]float64
+	hs, cs          [][]float64 // hidden and cell states, length T+1 (index 0 = initial)
+	gi, gf, gg, g_o [][]float64 // gate activations per timestep
+
+	// streaming state
+	streamH, streamC []float64
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// NewLSTM constructs an LSTM layer with Glorot-initialized weights and
+// forget-gate bias of 1 (standard practice for training stability).
+func NewLSTM(rng *rand.Rand, in, hidden int) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     newParam("lstm.Wx", 4*hidden*in),
+		Wh:     newParam("lstm.Wh", 4*hidden*hidden),
+		B:      newParam("lstm.b", 4*hidden),
+	}
+	glorotInit(rng, l.Wx.W, in, hidden)
+	glorotInit(rng, l.Wh.W, hidden, hidden)
+	for i := hidden; i < 2*hidden; i++ { // forget-gate bias
+		l.B.W[i] = 1
+	}
+	return l
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// gates computes the pre-activation gate vector for input x and previous
+// hidden state h, writing into dst of length 4*Hidden.
+func (l *LSTM) gates(x, h, dst []float64) {
+	H := l.Hidden
+	for g := 0; g < 4*H; g++ {
+		sum := l.B.W[g]
+		wxRow := l.Wx.W[g*l.In : (g+1)*l.In]
+		for i := 0; i < l.In; i++ {
+			sum += wxRow[i] * x[i]
+		}
+		whRow := l.Wh.W[g*H : (g+1)*H]
+		for i := 0; i < H; i++ {
+			sum += whRow[i] * h[i]
+		}
+		dst[g] = sum
+	}
+}
+
+// Forward implements Layer, running the full window with state reset.
+func (l *LSTM) Forward(x [][]float64, _ bool) [][]float64 {
+	T, H := len(x), l.Hidden
+	l.xs = x
+	l.hs = seq(T+1, H)
+	l.cs = seq(T+1, H)
+	l.gi = seq(T, H)
+	l.gf = seq(T, H)
+	l.gg = seq(T, H)
+	l.g_o = seq(T, H)
+	out := seq(T, H)
+
+	pre := make([]float64, 4*H)
+	for t := 0; t < T; t++ {
+		l.gates(x[t], l.hs[t], pre)
+		for j := 0; j < H; j++ {
+			i := sigmoid(pre[j])
+			f := sigmoid(pre[H+j])
+			g := math.Tanh(pre[2*H+j])
+			o := sigmoid(pre[3*H+j])
+			c := f*l.cs[t][j] + i*g
+			h := o * math.Tanh(c)
+			l.gi[t][j], l.gf[t][j], l.gg[t][j], l.g_o[t][j] = i, f, g, o
+			l.cs[t+1][j] = c
+			l.hs[t+1][j] = h
+			out[t][j] = h
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (full BPTT over the cached window).
+func (l *LSTM) Backward(gradOut [][]float64) [][]float64 {
+	T, H := len(l.xs), l.Hidden
+	gradIn := seq(T, l.In)
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	dGate := make([]float64, 4*H)
+
+	for t := T - 1; t >= 0; t-- {
+		for j := 0; j < H; j++ {
+			dh := gradOut[t][j] + dhNext[j]
+			c := l.cs[t+1][j]
+			tc := math.Tanh(c)
+			o := l.g_o[t][j]
+			do := dh * tc
+			dc := dh*o*(1-tc*tc) + dcNext[j]
+			i, f, g := l.gi[t][j], l.gf[t][j], l.gg[t][j]
+			di := dc * g
+			dg := dc * i
+			df := dc * l.cs[t][j]
+			dcNext[j] = dc * f
+			// pre-activation gradients
+			dGate[j] = di * i * (1 - i)
+			dGate[H+j] = df * f * (1 - f)
+			dGate[2*H+j] = dg * (1 - g*g)
+			dGate[3*H+j] = do * o * (1 - o)
+		}
+		// accumulate parameter grads and input/hidden grads
+		for j := range dhNext {
+			dhNext[j] = 0
+		}
+		xt := l.xs[t]
+		ht := l.hs[t]
+		for g := 0; g < 4*H; g++ {
+			dg := dGate[g]
+			if dg == 0 {
+				continue
+			}
+			l.B.G[g] += dg
+			wxRow := l.Wx.W[g*l.In : (g+1)*l.In]
+			gxRow := l.Wx.G[g*l.In : (g+1)*l.In]
+			gi := gradIn[t]
+			for i := 0; i < l.In; i++ {
+				gxRow[i] += dg * xt[i]
+				gi[i] += dg * wxRow[i]
+			}
+			whRow := l.Wh.W[g*H : (g+1)*H]
+			ghRow := l.Wh.G[g*H : (g+1)*H]
+			for i := 0; i < H; i++ {
+				ghRow[i] += dg * ht[i]
+				dhNext[i] += dg * whRow[i]
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// OutDim implements Layer.
+func (l *LSTM) OutDim(int) int { return l.Hidden }
+
+// ResetStream clears the streaming hidden/cell state used by Step.
+func (l *LSTM) ResetStream() {
+	l.streamH = nil
+	l.streamC = nil
+}
+
+// Step processes one timestep statefully (inference only), returning the
+// new hidden state. It backs the online monitor's constant-latency path.
+func (l *LSTM) Step(x []float64) []float64 {
+	H := l.Hidden
+	if l.streamH == nil {
+		l.streamH = make([]float64, H)
+		l.streamC = make([]float64, H)
+	}
+	pre := make([]float64, 4*H)
+	l.gates(x, l.streamH, pre)
+	out := make([]float64, H)
+	for j := 0; j < H; j++ {
+		i := sigmoid(pre[j])
+		f := sigmoid(pre[H+j])
+		g := math.Tanh(pre[2*H+j])
+		o := sigmoid(pre[3*H+j])
+		c := f*l.streamC[j] + i*g
+		h := o * math.Tanh(c)
+		l.streamC[j] = c
+		l.streamH[j] = h
+		out[j] = h
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer with optional step-decay learning rate, the
+// training configuration used throughout the paper ("trained using the Adam
+// optimizer with step-decay and early stopping", low initial learning rates
+// of 1e-4..1e-3).
+type Adam struct {
+	LR      float64 // current learning rate
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	// DecayFactor multiplies LR every DecayEvery epochs (step decay).
+	// DecayEvery <= 0 disables decay.
+	DecayFactor float64
+	DecayEvery  int
+
+	// ClipNorm, when > 0, rescales each parameter's gradient so that its
+	// L2 norm does not exceed ClipNorm (gradient clipping stabilizes LSTM
+	// training on long windows).
+	ClipNorm float64
+
+	t int // step counter
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:      lr,
+		Beta1:   0.9,
+		Beta2:   0.999,
+		Epsilon: 1e-8,
+		m:       make(map[*Param][]float64),
+		v:       make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update to all params using their accumulated
+// gradients (divided by batchSize) and zeroes the gradients.
+func (a *Adam) Step(params []*Param, batchSize int) {
+	a.t++
+	inv := 1.0
+	if batchSize > 0 {
+		inv = 1.0 / float64(batchSize)
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			a.v[p] = v
+		}
+		scale := inv
+		if a.ClipNorm > 0 {
+			var norm float64
+			for _, g := range p.G {
+				gg := g * inv
+				norm += gg * gg
+			}
+			norm = math.Sqrt(norm)
+			if norm > a.ClipNorm {
+				scale *= a.ClipNorm / norm
+			}
+		}
+		for i := range p.W {
+			g := p.G[i] * scale
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+			p.G[i] = 0
+		}
+	}
+}
+
+// EndEpoch applies step decay after an epoch completes (1-based epoch).
+func (a *Adam) EndEpoch(epoch int) {
+	if a.DecayEvery > 0 && a.DecayFactor > 0 && epoch%a.DecayEvery == 0 {
+		a.LR *= a.DecayFactor
+	}
+}

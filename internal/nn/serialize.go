@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+)
+
+// layerSpec is the serializable description of one layer: its kind, shape
+// hyper-parameters, and weights.
+type layerSpec struct {
+	Kind    string
+	Ints    []int   // layer-specific shape parameters
+	Float   float64 // layer-specific scalar (e.g. dropout p)
+	Weights [][]float64
+}
+
+// netSpec is the serializable description of a network.
+type netSpec struct {
+	Layers []layerSpec
+}
+
+// specFor converts a live layer to its serializable form.
+func specFor(l Layer) (layerSpec, error) {
+	switch v := l.(type) {
+	case *Dense:
+		return layerSpec{Kind: "dense", Ints: []int{v.In, v.Out}, Weights: [][]float64{v.Weight.W, v.Bias.W}}, nil
+	case *LSTM:
+		return layerSpec{Kind: "lstm", Ints: []int{v.In, v.Hidden}, Weights: [][]float64{v.Wx.W, v.Wh.W, v.B.W}}, nil
+	case *Conv1D:
+		return layerSpec{Kind: "conv1d", Ints: []int{v.In, v.Out, v.K}, Weights: [][]float64{v.Weight.W, v.Bias.W}}, nil
+	case *ReLU:
+		return layerSpec{Kind: "relu"}, nil
+	case *Tanh:
+		return layerSpec{Kind: "tanh"}, nil
+	case *Dropout:
+		return layerSpec{Kind: "dropout", Float: v.P}, nil
+	case *TakeLast:
+		return layerSpec{Kind: "takelast"}, nil
+	case *GlobalMaxPool:
+		return layerSpec{Kind: "gmp"}, nil
+	case *Flatten:
+		return layerSpec{Kind: "flatten"}, nil
+	default:
+		return layerSpec{}, fmt.Errorf("nn: cannot serialize layer of type %T", l)
+	}
+}
+
+// layerFrom reconstructs a live layer from its serialized form.
+func layerFrom(s layerSpec, rng *rand.Rand) (Layer, error) {
+	switch s.Kind {
+	case "dense":
+		d := NewDense(rng, s.Ints[0], s.Ints[1])
+		copy(d.Weight.W, s.Weights[0])
+		copy(d.Bias.W, s.Weights[1])
+		return d, nil
+	case "lstm":
+		l := NewLSTM(rng, s.Ints[0], s.Ints[1])
+		copy(l.Wx.W, s.Weights[0])
+		copy(l.Wh.W, s.Weights[1])
+		copy(l.B.W, s.Weights[2])
+		return l, nil
+	case "conv1d":
+		c := NewConv1D(rng, s.Ints[0], s.Ints[1], s.Ints[2])
+		copy(c.Weight.W, s.Weights[0])
+		copy(c.Bias.W, s.Weights[1])
+		return c, nil
+	case "relu":
+		return &ReLU{}, nil
+	case "tanh":
+		return &Tanh{}, nil
+	case "dropout":
+		return NewDropout(rng, s.Float), nil
+	case "takelast":
+		return &TakeLast{}, nil
+	case "gmp":
+		return &GlobalMaxPool{}, nil
+	case "flatten":
+		return &Flatten{}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown layer kind %q", s.Kind)
+	}
+}
+
+// Encode serializes the network's architecture and weights.
+func (n *Network) Encode(w io.Writer) error {
+	spec := netSpec{Layers: make([]layerSpec, len(n.Layers))}
+	for i, l := range n.Layers {
+		s, err := specFor(l)
+		if err != nil {
+			return err
+		}
+		spec.Layers[i] = s
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// DecodeNetwork reconstructs a network from Encode's output. rng seeds any
+// stochastic layers (dropout) in the restored network.
+func DecodeNetwork(r io.Reader, rng *rand.Rand) (*Network, error) {
+	var spec netSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: decode network: %w", err)
+	}
+	layers := make([]Layer, len(spec.Layers))
+	for i, s := range spec.Layers {
+		l, err := layerFrom(s, rng)
+		if err != nil {
+			return nil, err
+		}
+		layers[i] = l
+	}
+	return NewNetwork(layers...), nil
+}
+
+// SaveFile writes the network to a file.
+func (n *Network) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile reads a network from a file written by SaveFile.
+func LoadFile(path string, rng *rand.Rand) (*Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: load network: %w", err)
+	}
+	return DecodeNetwork(bytes.NewReader(data), rng)
+}

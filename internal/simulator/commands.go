@@ -1,0 +1,149 @@
+package simulator
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+)
+
+// CommandConfig controls fault-free Block Transfer command-stream
+// generation — the substitute for a human operator tele-operating the
+// simulator. The generated stream follows the Figure 3b grammar:
+// G2 (position) → G12 (reach with left) → G6 (carry) → G5 (move to center)
+// → G11 (drop at receptacle).
+type CommandConfig struct {
+	// Hz is the command rate; the paper's simulator logs at 1000 Hz.
+	Hz float64
+	// Subject tags the synthetic operator.
+	Subject string
+	// Trial is the LOSO super-trial index.
+	Trial int
+	// SpeedMul scales the operator's pace.
+	SpeedMul float64
+	// Noise is the hand-tremor noise amplitude (meters).
+	Noise float64
+}
+
+// DefaultCommandConfig returns the 1000 Hz configuration used by the
+// fault-injection campaign.
+func DefaultCommandConfig() CommandConfig {
+	return CommandConfig{Hz: 1000, SpeedMul: 1, Noise: 0.0004}
+}
+
+// blockPhase is one gesture-phase of the scripted Block Transfer.
+type blockPhase struct {
+	g        gesture.Gesture
+	dur      float64 // seconds at SpeedMul=1
+	targetL  [3]float64
+	grasperL [2]float64 // start, end angle
+}
+
+// GenerateCommands produces one fault-free Block Transfer command stream.
+// The right manipulator holds station; the left does the transfer.
+func GenerateCommands(rng *rand.Rand, cfg CommandConfig) *kinematics.Trajectory {
+	if cfg.Hz <= 0 {
+		cfg.Hz = 1000
+	}
+	if cfg.SpeedMul <= 0 {
+		cfg.SpeedMul = 1
+	}
+	hover := [3]float64{BlockStart[0], BlockStart[1], 0.03}
+	center := [3]float64{0, 0, 0.035}
+	drop := [3]float64{Receptacle[0], Receptacle[1], 0.012}
+
+	jitter := func(p [3]float64, s float64) [3]float64 {
+		return [3]float64{
+			p[0] + rng.NormFloat64()*s,
+			p[1] + rng.NormFloat64()*s,
+			p[2] + rng.NormFloat64()*s,
+		}
+	}
+
+	// Phase durations put the grab at ~0.2 of the trajectory and the G11
+	// release in the final fifth, so that Table III's fault windows
+	// (starting at 0.3, lasting 0.5-0.9 of the trajectory) land after the
+	// grab and only the long windows smother the release.
+	phases := []blockPhase{
+		// G2: position above the block, jaw closed.
+		{gesture.G2, 0.8, jitter(hover, 0.002), [2]float64{0.2, 0.2}},
+		// G12: descend and reach the block with the left jaw opening then closing.
+		{gesture.G12, 1.0, jitter(BlockStart, 0.001), [2]float64{1.05, 0.18}},
+		// G6: lift and carry toward the center.
+		{gesture.G6, 3.0, jitter(center, 0.002), [2]float64{0.18, 0.2}},
+		// G5: move with the block toward the receptacle approach point.
+		{gesture.G5, 2.4, jitter([3]float64{drop[0] - 0.01, drop[1] + 0.01, 0.03}, 0.002), [2]float64{0.2, 0.22}},
+		// G11: descend over the receptacle and open the jaw wide to drop.
+		{gesture.G11, 1.8, jitter(drop, 0.001), [2]float64{0.22, 1.3}},
+	}
+
+	traj := &kinematics.Trajectory{HzRate: cfg.Hz, Subject: cfg.Subject, Trial: cfg.Trial}
+	posL := [3]float64{BlockStart[0] - 0.01, BlockStart[1] + 0.02, 0.05}
+	posR := [3]float64{0.04, 0.04, 0.05}
+	var prev *kinematics.Frame
+	dt := 1 / cfg.Hz
+	phase := 0.0
+
+	for _, ph := range phases {
+		frames := int(ph.dur / cfg.SpeedMul * cfg.Hz)
+		if frames < 10 {
+			frames = 10
+		}
+		start := posL
+		for i := 0; i < frames; i++ {
+			u := float64(i) / float64(frames-1)
+			prog := u * u * (3 - 2*u) // smoothstep
+			var f kinematics.Frame
+			p := [3]float64{
+				start[0] + (ph.targetL[0]-start[0])*prog + rng.NormFloat64()*cfg.Noise,
+				start[1] + (ph.targetL[1]-start[1])*prog + rng.NormFloat64()*cfg.Noise,
+				start[2] + (ph.targetL[2]-start[2])*prog + rng.NormFloat64()*cfg.Noise,
+			}
+			ga := ph.grasperL[0] + (ph.grasperL[1]-ph.grasperL[0])*prog + rng.NormFloat64()*0.008
+			if ga < 0 {
+				ga = 0
+			}
+			f.SetCartesian(kinematics.Left, p[0], p[1], p[2])
+			f.SetCartesian(kinematics.Right, posR[0], posR[1], posR[2])
+			f.SetGrasperAngle(kinematics.Left, ga)
+			f.SetGrasperAngle(kinematics.Right, 0.2+rng.NormFloat64()*0.005)
+			f.SetRotation(kinematics.Left, kinematics.RotationZ(0.15*math.Sin(2*math.Pi*0.4*phase)))
+			f.SetRotation(kinematics.Right, kinematics.IdentityRotation())
+			if prev != nil {
+				x0, y0, z0 := prev.Cartesian(kinematics.Left)
+				f.SetLinearVelocity(kinematics.Left, (p[0]-x0)/dt, (p[1]-y0)/dt, (p[2]-z0)/dt)
+			}
+			traj.Frames = append(traj.Frames, f)
+			traj.Gestures = append(traj.Gestures, int(ph.g))
+			prevF := f
+			prev = &prevF
+			posL = p
+			phase += dt
+		}
+	}
+	// Fault-free streams are safe everywhere; the injector overwrites this.
+	traj.Unsafe = make([]bool, len(traj.Frames))
+	return traj
+}
+
+// CollectFaultFree generates n fault-free demonstrations spread over the
+// given number of synthetic operators, mirroring the paper's "20 fault-free
+// demonstrations of the Block Transfer task performed by 2 different human
+// subjects".
+func CollectFaultFree(seed int64, n, subjects int, hz float64) []*kinematics.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	if subjects <= 0 {
+		subjects = 2
+	}
+	out := make([]*kinematics.Trajectory, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := DefaultCommandConfig()
+		cfg.Hz = hz
+		cfg.Subject = []string{"A", "B", "C", "D"}[i%subjects%4]
+		cfg.Trial = i % 5
+		cfg.SpeedMul = 1 + rng.NormFloat64()*0.1
+		out = append(out, GenerateCommands(rng, cfg))
+	}
+	return out
+}

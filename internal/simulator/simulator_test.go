@@ -1,0 +1,240 @@
+package simulator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kinematics"
+	"repro/internal/vision"
+)
+
+func TestGenerateCommandsWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200 // faster tests
+	traj := GenerateCommands(rng, cfg)
+	if err := traj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := traj.FiniteCheck(); err != nil {
+		t.Fatal(err)
+	}
+	seq := traj.GestureSequence()
+	want := []int{2, 12, 6, 5, 11}
+	if len(seq) != len(want) {
+		t.Fatalf("gesture sequence %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("gesture sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestFaultFreeRunSucceeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	successes := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		traj := GenerateCommands(rng, cfg)
+		w := NewWorld(rng)
+		res := w.Run(traj, 0)
+		if res.Outcome == NoFailure {
+			successes++
+			if res.ReleaseFrame < 0 {
+				t.Error("successful run must have a release frame")
+			}
+			if res.DropFrame >= 0 {
+				t.Error("successful run must not record a drop")
+			}
+		}
+	}
+	if successes < runs-1 {
+		t.Errorf("only %d/%d fault-free runs succeeded", successes, runs)
+	}
+}
+
+// injectGrasper raises the commanded left grasper angle to target over the
+// given fraction window.
+func injectGrasper(traj *kinematics.Trajectory, target, startFrac, endFrac float64) *kinematics.Trajectory {
+	out := traj.Clone()
+	n := len(out.Frames)
+	for i := int(startFrac * float64(n)); i < int(endFrac*float64(n)) && i < n; i++ {
+		out.Frames[i].SetGrasperAngle(kinematics.Left, target)
+	}
+	return out
+}
+
+func TestHighGrasperAngleCausesBlockDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	drops := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		traj := GenerateCommands(rng, cfg)
+		// Hold 1.4 rad through the whole carry phase.
+		faulty := injectGrasper(traj, 1.4, 0.3, 0.7)
+		w := NewWorld(rng)
+		res := w.Run(faulty, 0)
+		if res.Outcome == BlockDropFailure {
+			drops++
+			if res.DropFrame < 0 {
+				t.Error("block-drop without drop frame")
+			}
+		}
+	}
+	if drops < runs*8/10 {
+		t.Errorf("high grasper angle dropped block only %d/%d times", drops, runs)
+	}
+}
+
+func TestLowGrasperThroughReleaseCausesDropoffFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	dropoffs := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		traj := GenerateCommands(rng, cfg)
+		// Clamp the jaw closed from carry through the end: the release
+		// during G11 never happens.
+		faulty := injectGrasper(traj, 0.3, 0.3, 1.0)
+		w := NewWorld(rng)
+		res := w.Run(faulty, 0)
+		if res.Outcome == DropoffFailure {
+			dropoffs++
+		}
+	}
+	if dropoffs < runs*8/10 {
+		t.Errorf("clamped jaw caused dropoff failure only %d/%d times", dropoffs, runs)
+	}
+}
+
+func TestShortLowGrasperFaultIsHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	ok := 0
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		traj := GenerateCommands(rng, cfg)
+		// Low angle only during carry (jaw already closed there): no effect.
+		faulty := injectGrasper(traj, 0.35, 0.35, 0.6)
+		w := NewWorld(rng)
+		if res := w.Run(faulty, 0); res.Outcome == NoFailure {
+			ok++
+		}
+	}
+	if ok < runs*8/10 {
+		t.Errorf("harmless fault caused failures: only %d/%d succeeded", ok, runs)
+	}
+}
+
+func TestWorkspaceClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 100
+	traj := GenerateCommands(rng, cfg)
+	// Push commands far outside the envelope.
+	for i := range traj.Frames {
+		traj.Frames[i].SetCartesian(kinematics.Left, 10, -10, 10)
+	}
+	w := NewWorld(rng)
+	res := w.Run(traj, 0)
+	for _, f := range res.Traj.Frames {
+		x, y, z := f.Cartesian(kinematics.Left)
+		for _, v := range []float64{x, y, z} {
+			if v > WorkspaceBound+1e-9 || v < -WorkspaceBound-1e-9 {
+				t.Fatalf("executed position %v outside envelope", v)
+			}
+		}
+	}
+}
+
+func TestCameraRendersBlockAndReceptacle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWorld(rng)
+	im := w.Render()
+	red := ThresholdHelper(t, im, BlockThreshold())
+	if red == 0 {
+		t.Error("block not visible in render")
+	}
+	green := ThresholdHelper(t, im, vision.ThresholdRange{HLo: 100, HHi: 140, SLo: 0.5, SHi: 1, VLo: 0.3, VHi: 1})
+	if green == 0 {
+		t.Error("receptacle not visible in render")
+	}
+}
+
+// ThresholdHelper counts pixels matching a range.
+func ThresholdHelper(t *testing.T, im *vision.Image, r vision.ThresholdRange) int {
+	t.Helper()
+	return vision.ThresholdHSV(im, r).Count()
+}
+
+func TestRunCapturesCameraFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	traj := GenerateCommands(rng, cfg)
+	w := NewWorld(rng)
+	res := w.Run(traj, 30)
+	if len(res.Frames) == 0 {
+		t.Fatal("no camera frames captured")
+	}
+	if len(res.Frames) != len(res.FrameTimes) {
+		t.Fatal("frame/timestamp mismatch")
+	}
+	// ~30 fps from a 200 Hz run: one frame per 6-7 kinematics samples.
+	wantApprox := len(traj.Frames) / 6
+	if len(res.Frames) < wantApprox/2 || len(res.Frames) > wantApprox*2 {
+		t.Errorf("captured %d frames, expected ~%d", len(res.Frames), wantApprox)
+	}
+}
+
+func TestCollectFaultFree(t *testing.T) {
+	demos := CollectFaultFree(1, 4, 2, 100)
+	if len(demos) != 4 {
+		t.Fatalf("got %d demos", len(demos))
+	}
+	subjects := map[string]bool{}
+	for _, d := range demos {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		subjects[d.Subject] = true
+	}
+	if len(subjects) != 2 {
+		t.Errorf("subjects = %v, want 2 distinct", subjects)
+	}
+}
+
+func TestVisionAutoLabelBlockDrop(t *testing.T) {
+	// End-to-end orthogonal labeling: induce a drop, then find it from the
+	// video alone via SSIM discontinuity of the thresholded block region.
+	rng := rand.New(rand.NewSource(9))
+	cfg := DefaultCommandConfig()
+	cfg.Hz = 200
+	traj := GenerateCommands(rng, cfg)
+	faulty := injectGrasper(traj, 1.5, 0.35, 0.75)
+	w := NewWorld(rng)
+	res := w.Run(faulty, 30)
+	if res.Outcome != BlockDropFailure {
+		t.Skipf("fault did not cause a drop this run (outcome %v)", res.Outcome)
+	}
+	dropVideo := vision.DropFrame(res.Frames, BlockThreshold(), DropSSIMThreshold)
+	if dropVideo < 0 {
+		t.Fatal("vision pipeline failed to find the drop")
+	}
+	// Video drop frame must be near the kinematics drop frame.
+	videoKin := res.FrameTimes[dropVideo]
+	diff := videoKin - res.DropFrame
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int(cfg.Hz/2) {
+		t.Errorf("video drop at kinematics frame %d vs ground truth %d", videoKin, res.DropFrame)
+	}
+}

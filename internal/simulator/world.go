@@ -1,0 +1,332 @@
+// Package simulator is the substitute for the paper's ROS Gazebo + Raven II
+// control-software environment: a discrete-time kinematic/physics
+// simulation of the Block Transfer dry-lab task. It replays tele-operation
+// command streams (optionally perturbed by the fault injector), models
+// grasp/carry/release mechanics of the block, logs kinematics at 1000 Hz,
+// renders virtual-camera frames at 30 fps, and reports ground-truth failure
+// events (block-drop and dropoff failure).
+package simulator
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/kinematics"
+	"repro/internal/vision"
+)
+
+// Workspace and task geometry (meters, task frame).
+const (
+	// WorkspaceBound clamps commanded positions, mimicking the robot
+	// controller's safety envelope.
+	WorkspaceBound = 0.09
+	// BlockSize is the edge length of the transferred block.
+	BlockSize = 0.012
+	// ReceptacleRadius is the drop-target radius; releases farther than
+	// this from the receptacle center are wrong-position drops.
+	ReceptacleRadius = 0.02
+	// GraspRadius is how close the grasper must be to the block to grab it.
+	GraspRadius = 0.015
+	// HoldAngle is the grasper angle below which the jaw holds the block.
+	HoldAngle = 0.45
+	// ReleaseAngle is the grasper angle above which an intentional release
+	// occurs.
+	ReleaseAngle = 0.80
+)
+
+// Physics tunables for the slip model. The jaw holds the block securely
+// below the per-run slip threshold; above it the block slips at a rate
+// proportional to the excess angle, dropping once the integrated excess
+// exhausts the grip capacity. The per-run randomness reproduces the
+// probabilistic failure rates of Table III: targets of 0.9-1.0 rad drop
+// the block about half the time, 1.1+ rad almost always, and 0.8 rad or
+// below almost never.
+const (
+	slipThresholdMean = 0.95
+	slipThresholdStd  = 0.10
+	slipThresholdMax  = 1.25
+	slipCapacityMean  = 0.045 // rad·s of integrated excess before drop
+	slipCapacityStd   = 0.020
+	// hardOpenAngle is the jaw opening at which a slip-drop away from the
+	// receptacle counts as a commanded (wrong-position) release rather
+	// than a grip failure.
+	hardOpenAngle = 1.2
+)
+
+// BlockTransferPositions are the nominal task-frame anchors.
+var (
+	BlockStart = [3]float64{-0.05, 0.02, 0.0}
+	Receptacle = [3]float64{0.055, -0.035, 0.0}
+)
+
+// FailureMode is the ground-truth outcome class of one simulated run.
+type FailureMode int
+
+// Failure modes observed in the campaign (Table III columns).
+const (
+	NoFailure FailureMode = iota + 1
+	BlockDropFailure
+	DropoffFailure
+	WrongPositionDrop
+)
+
+// String returns the outcome name.
+func (f FailureMode) String() string {
+	switch f {
+	case NoFailure:
+		return "no failure"
+	case BlockDropFailure:
+		return "block-drop"
+	case DropoffFailure:
+		return "dropoff failure"
+	case WrongPositionDrop:
+		return "wrong-position drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of one simulated Block Transfer run.
+type Result struct {
+	// Traj is the executed (robot-side) 1000 Hz kinematics log with
+	// gesture labels propagated from the command stream.
+	Traj *kinematics.Trajectory
+	// Outcome is the ground-truth failure classification.
+	Outcome FailureMode
+	// DropFrame is the kinematics frame index at which the block was
+	// dropped (block-drop or wrong-position), -1 otherwise.
+	DropFrame int
+	// ReleaseFrame is the frame of an intentional release, -1 if none.
+	ReleaseFrame int
+	// Frames are the 30 fps virtual-camera captures.
+	Frames []*vision.Image
+	// FrameTimes are the kinematics indices of each camera frame,
+	// enabling video↔kinematics synchronization.
+	FrameTimes []int
+}
+
+// World simulates one Block Transfer episode.
+type World struct {
+	rng *rand.Rand
+
+	blockPos   [3]float64
+	blockHeld  bool
+	blockDown  bool // block has landed (dropped or released)
+	slipThresh float64
+	slipBudget float64
+	slipAccum  float64
+}
+
+// NewWorld creates a world with per-run randomized physics parameters.
+func NewWorld(rng *rand.Rand) *World {
+	w := &World{
+		rng:        rng,
+		blockPos:   BlockStart,
+		slipThresh: slipThresholdMean + rng.NormFloat64()*slipThresholdStd,
+		slipBudget: slipCapacityMean + rng.NormFloat64()*slipCapacityStd,
+	}
+	if w.slipThresh < HoldAngle+0.05 {
+		w.slipThresh = HoldAngle + 0.05
+	}
+	if w.slipThresh > slipThresholdMax {
+		w.slipThresh = slipThresholdMax
+	}
+	if w.slipBudget < 0.005 {
+		w.slipBudget = 0.005
+	}
+	return w
+}
+
+// clampWorkspace applies the controller's safety envelope to a commanded
+// position.
+func clampWorkspace(v float64) float64 {
+	if v > WorkspaceBound {
+		return WorkspaceBound
+	}
+	if v < -WorkspaceBound {
+		return -WorkspaceBound
+	}
+	return v
+}
+
+// Run executes a command stream (frames at hz) through the world and
+// returns the executed trajectory plus ground truth. The left manipulator
+// carries the block, matching the G12 (reach left) → G6 (carry) → G5 →
+// G11 (drop) grammar. cameraFPS <= 0 disables rendering.
+func (w *World) Run(commands *kinematics.Trajectory, cameraFPS float64) *Result {
+	res := &Result{
+		DropFrame:    -1,
+		ReleaseFrame: -1,
+		Outcome:      NoFailure,
+	}
+	exec := &kinematics.Trajectory{
+		HzRate:  commands.HzRate,
+		Subject: commands.Subject,
+		Trial:   commands.Trial,
+	}
+	dt := 1 / commands.HzRate
+	camEvery := 0
+	if cameraFPS > 0 {
+		camEvery = int(commands.HzRate / cameraFPS)
+		if camEvery < 1 {
+			camEvery = 1
+		}
+	}
+
+	for i := range commands.Frames {
+		f := commands.Frames[i] // copy
+		// Controller safety envelope on Cartesian commands.
+		for _, m := range []kinematics.Manipulator{kinematics.Left, kinematics.Right} {
+			x, y, z := f.Cartesian(m)
+			f.SetCartesian(m, clampWorkspace(x), clampWorkspace(y), clampWorkspace(z))
+		}
+		gx, gy, gz := f.Cartesian(kinematics.Left)
+		ga := f.GrasperAngle(kinematics.Left)
+
+		switch {
+		case !w.blockHeld && !w.blockDown:
+			// Grab when the open-then-closing jaw reaches the block.
+			d := dist3(gx, gy, gz, w.blockPos[0], w.blockPos[1], w.blockPos[2])
+			if d < GraspRadius && ga < HoldAngle {
+				w.blockHeld = true
+			}
+		case w.blockHeld:
+			// Carry: block follows the jaw.
+			w.blockPos = [3]float64{gx, gy, gz}
+			switch {
+			case ga >= ReleaseAngle && nearReceptacle(gx, gy):
+				// Intentional release over the receptacle: success.
+				w.blockHeld = false
+				w.blockDown = true
+				w.blockPos[2] = 0
+				res.ReleaseFrame = i
+			case ga > w.slipThresh:
+				// Jaw opened past the grip threshold: the block slips
+				// at a rate proportional to the excess, dropping once
+				// the integrated excess exhausts the grip capacity.
+				w.slipAccum += (ga - w.slipThresh) * dt
+				if w.slipAccum > w.slipBudget {
+					w.blockHeld = false
+					w.blockDown = true
+					// A slipping block inherits the carry momentum and
+					// tumbles as it lands, displacing it visibly from
+					// the jaw in the camera view.
+					tumble := 0.010 + 0.5*w.blockPos[2]
+					ang := w.rng.Float64() * 2 * math.Pi
+					w.blockPos[0] += tumble * math.Cos(ang)
+					w.blockPos[1] += tumble * math.Sin(ang)
+					w.blockPos[2] = 0
+					res.DropFrame = i
+					if ga >= hardOpenAngle && nearMissReceptacle(w.blockPos[0], w.blockPos[1]) {
+						// A commanded full-open release that lands just
+						// outside the receptacle (e.g. Cartesian
+						// deviation at drop time): wrong-position drop.
+						res.Outcome = WrongPositionDrop
+					} else {
+						res.Outcome = BlockDropFailure
+					}
+				}
+			}
+		}
+
+		exec.Frames = append(exec.Frames, f)
+		if len(commands.Gestures) == len(commands.Frames) {
+			exec.Gestures = append(exec.Gestures, commands.Gestures[i])
+		}
+		if len(commands.Unsafe) == len(commands.Frames) {
+			exec.Unsafe = append(exec.Unsafe, commands.Unsafe[i])
+		}
+		if camEvery > 0 && i%camEvery == 0 {
+			res.Frames = append(res.Frames, w.Render())
+			res.FrameTimes = append(res.FrameTimes, i)
+		}
+	}
+
+	// Outcome classification at episode end.
+	if res.Outcome == NoFailure {
+		switch {
+		case w.blockHeld || !w.blockDown:
+			// Block never released: dropoff failure.
+			res.Outcome = DropoffFailure
+		case res.ReleaseFrame >= 0 && !nearReceptacle(w.blockPos[0], w.blockPos[1]):
+			res.Outcome = WrongPositionDrop
+		}
+	}
+	res.Traj = exec
+	return res
+}
+
+func nearReceptacle(x, y float64) bool {
+	dx, dy := x-Receptacle[0], y-Receptacle[1]
+	return math.Sqrt(dx*dx+dy*dy) <= ReceptacleRadius
+}
+
+// nearMissReceptacle reports a position just outside the receptacle (within
+// three radii): the signature of a release displaced by Cartesian faults.
+func nearMissReceptacle(x, y float64) bool {
+	dx, dy := x-Receptacle[0], y-Receptacle[1]
+	d := math.Sqrt(dx*dx + dy*dy)
+	return d > ReceptacleRadius && d <= 3*ReceptacleRadius
+}
+
+func dist3(x1, y1, z1, x2, y2, z2 float64) float64 {
+	dx, dy, dz := x1-x2, y1-y2, z1-z2
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Camera geometry: an orthographic top-down view of the 2·WorkspaceBound
+// square mapped onto an 80×60 raster.
+const (
+	camW = 80
+	camH = 60
+)
+
+// Render draws the current world state from the virtual camera: green
+// receptacle disc, red block, gray table.
+func (w *World) Render() *vision.Image {
+	im := vision.NewImage(camW, camH)
+	for i := range im.Pix {
+		im.Pix[i] = vision.RGB{R: 70, G: 70, B: 70} // table
+	}
+	// receptacle (green disc)
+	rx, ry := project(Receptacle[0], Receptacle[1])
+	recRadius := float64(ReceptacleRadius)
+	rr := int(recRadius / (2 * WorkspaceBound) * float64(camW))
+	for dy := -rr; dy <= rr; dy++ {
+		for dx := -rr; dx <= rr; dx++ {
+			if dx*dx+dy*dy <= rr*rr {
+				im.Set(rx+dx, ry+dy, vision.RGB{R: 20, G: 200, B: 40})
+			}
+		}
+	}
+	// block (red square); the overhead camera sees a lifted block larger,
+	// so a drop appears as an instantaneous size change that the SSIM
+	// labeler can pinpoint.
+	bx, by := project(w.blockPos[0], w.blockPos[1])
+	blockEdge := float64(BlockSize)
+	bs := int(blockEdge / (2 * WorkspaceBound) * float64(camW) * (1 + w.blockPos[2]*25))
+	if bs < 2 {
+		bs = 2
+	}
+	im.FillRect(bx-bs/2, by-bs/2, bx+bs/2+1, by+bs/2+1, vision.RGB{R: 220, G: 30, B: 30})
+	return im
+}
+
+// project maps task-frame (x, y) onto pixel coordinates.
+func project(x, y float64) (px, py int) {
+	px = int((x + WorkspaceBound) / (2 * WorkspaceBound) * float64(camW-1))
+	py = int((y + WorkspaceBound) / (2 * WorkspaceBound) * float64(camH-1))
+	return px, py
+}
+
+// BlockThreshold is the HSV range isolating the red block in camera frames.
+func BlockThreshold() vision.ThresholdRange {
+	return vision.ThresholdRange{HLo: 340, HHi: 20, SLo: 0.5, SHi: 1, VLo: 0.3, VHi: 1}
+}
+
+// DropSSIMThreshold is the consecutive-frame SSIM below which the
+// block-region appearance is considered discontinuous (a drop): smooth
+// carry keeps the masked SSIM above ~0.75 at 30 fps even through pixel
+// quantization flicker, while the tumble displacement of a falling block
+// pushes it to ~0.5.
+const DropSSIMThreshold = 0.65

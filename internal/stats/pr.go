@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Recall    float64
+	Precision float64
+}
+
+// PR computes the precision-recall curve of scores against binary labels
+// (higher score = more likely positive), sorted by ascending recall.
+func PR(scores []float64, labels []bool) []PRPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	type sl struct {
+		s float64
+		l bool
+	}
+	data := make([]sl, len(scores))
+	var pos int
+	for i := range scores {
+		data[i] = sl{scores[i], labels[i]}
+		if labels[i] {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return nil
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s > data[j].s })
+
+	var curve []PRPoint
+	var tp, fp int
+	i := 0
+	for i < len(data) {
+		j := i
+		for j < len(data) && data[j].s == data[i].s {
+			if data[j].l {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, PRPoint{
+			Threshold: data[i].s,
+			Recall:    float64(tp) / float64(pos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+		i = j
+	}
+	return curve
+}
+
+// AveragePrecision computes the area under the PR curve by the step-wise
+// interpolation used by scikit-learn's average_precision_score: the sum of
+// (recall_i - recall_{i-1}) * precision_i.
+func AveragePrecision(scores []float64, labels []bool) float64 {
+	curve := PR(scores, labels)
+	if len(curve) == 0 {
+		return 0
+	}
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap
+}
+
+// BootstrapCI estimates a percentile confidence interval for a statistic
+// of paired (score, label) samples via nonparametric bootstrap with the
+// given number of resamples. alpha is the total tail mass (0.05 gives a
+// 95% interval). The statistic is typically AUC or F1AtThreshold.
+func BootstrapCI(scores []float64, labels []bool, stat func([]float64, []bool) float64,
+	resamples int, alpha float64, rng *rand.Rand) (lo, hi float64) {
+	n := len(scores)
+	if n == 0 || resamples <= 0 {
+		return 0, 0
+	}
+	vals := make([]float64, 0, resamples)
+	bs := make([]float64, n)
+	bl := make([]bool, n)
+	for r := 0; r < resamples; r++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bs[i] = scores[j]
+			bl[i] = labels[j]
+		}
+		vals = append(vals, stat(bs, bl))
+	}
+	sort.Float64s(vals)
+	loIdx := int(alpha / 2 * float64(resamples))
+	hiIdx := int((1 - alpha/2) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return vals[loIdx], vals[hiIdx]
+}

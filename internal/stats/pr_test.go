@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := PR(scores, labels)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	for _, p := range curve[:2] {
+		if p.Precision != 1 {
+			t.Errorf("perfect classifier precision %v at recall %v", p.Precision, p.Recall)
+		}
+	}
+	if ap := AveragePrecision(scores, labels); math.Abs(ap-1) > 1e-12 {
+		t.Errorf("AP = %v, want 1", ap)
+	}
+}
+
+func TestPRNoPositives(t *testing.T) {
+	if PR([]float64{0.5}, []bool{false}) != nil {
+		t.Error("PR with no positives must be nil")
+	}
+	if AveragePrecision([]float64{0.5}, []bool{false}) != 0 {
+		t.Error("AP with no positives must be 0")
+	}
+}
+
+func TestPRRecallMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := false
+		for i := range scores {
+			scores[i] = rng.Float64()
+			labels[i] = rng.Float64() < 0.4
+			pos = pos || labels[i]
+		}
+		if !pos {
+			return true
+		}
+		curve := PR(scores, labels)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Recall < curve[i-1].Recall-1e-12 {
+				return false
+			}
+		}
+		last := curve[len(curve)-1]
+		return math.Abs(last.Recall-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePrecisionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		pos := false
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			labels[i] = rng.Float64() < 0.5
+			pos = pos || labels[i]
+		}
+		if !pos {
+			return true
+		}
+		ap := AveragePrecision(scores, labels)
+		return ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCIBracketsPointEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 300
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		labels[i] = rng.Float64() < 0.5
+		if labels[i] {
+			scores[i] = rng.NormFloat64() + 1
+		} else {
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	point := AUC(scores, labels)
+	lo, hi := BootstrapCI(scores, labels, AUC, 200, 0.05, rng)
+	t.Logf("AUC %.3f, 95%% CI [%.3f, %.3f]", point, lo, hi)
+	if lo > point || hi < point {
+		t.Errorf("CI [%v, %v] does not bracket point estimate %v", lo, hi, point)
+	}
+	if hi-lo <= 0 || hi-lo > 0.3 {
+		t.Errorf("CI width %v implausible for n=%d", hi-lo, n)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := BootstrapCI(nil, nil, AUC, 100, 0.05, rng)
+	if lo != 0 || hi != 0 {
+		t.Error("empty input must return zeros")
+	}
+}

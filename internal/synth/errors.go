@@ -1,0 +1,151 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/gesture"
+)
+
+// errorInjection plans the kinematic signature of one gesture-specific
+// failure mode (Table II) across a gesture of `frames` frames.
+type errorInjection struct {
+	mode  gesture.ErrorMode
+	onset int // frame offset within the gesture where the signature begins
+
+	// signature parameters, interpreted per mode
+	amp    float64
+	period float64
+	axis   int
+	span   int // frames the signature lasts
+
+	// Whole-gesture clumsiness: erroneous executions are subtly off for
+	// their entire duration (the paper labels the whole gesture unsafe
+	// even when the error event happens late), modeled as elevated
+	// tremor and a small persistent positional bias.
+	noiseMul  float64
+	wholeBias point
+}
+
+// planInjection picks one of the gesture's common error modes and draws its
+// signature parameters.
+func planInjection(rng *rand.Rand, g gesture.Gesture, frames int) *errorInjection {
+	entry, ok := gesture.Rubric()[g]
+	if !ok || len(entry.Modes) == 0 {
+		return nil
+	}
+	mode := entry.Modes[rng.Intn(len(entry.Modes))]
+	// A faint whole-gesture residue (barely elevated tremor): a
+	// non-context baseline can find some signal, as in the paper, but the
+	// discriminative structure lives in the gesture-specific signatures.
+	inj := &errorInjection{
+		mode:     mode,
+		noiseMul: 1.05 + rng.Float64()*0.10,
+	}
+	// Signatures start early and persist through the gesture: the whole
+	// execution is off (matching the paper's whole-gesture labeling),
+	// and in a way that depends on the gesture's failure mode — the
+	// context-specificity that Figure 5 measures.
+	switch mode {
+	case gesture.ErrMultipleAttempts, gesture.ErrMultipleMoves:
+		// Oscillating approach: progress retreats and re-advances.
+		inj.onset = frames / 4
+		inj.amp = 0.25 + rng.Float64()*0.25 // fraction of progress lost per retreat
+		inj.period = 0.8 + rng.Float64()*0.6
+	case gesture.ErrNeedleDrop:
+		// Grasper opens and stays wrong for the rest of the gesture: the
+		// needle is dropped and the jaw fumbles after it.
+		inj.onset = frames/5 + rng.Intn(frames/4+1)
+		inj.amp = 0.5 + rng.Float64()*0.5 // rad added to grasper angle
+	case gesture.ErrOutOfView:
+		// Sustained Cartesian excursion beyond the visible workspace.
+		inj.onset = frames / 5
+		inj.amp = 0.03 + rng.Float64()*0.03 // meters
+		inj.axis = rng.Intn(3)
+	case gesture.ErrNotAlongCurve:
+		// Deviation from the needle's curve: lateral bias + rough rotation.
+		inj.onset = frames / 6
+		inj.amp = 0.012 + rng.Float64()*0.01
+		inj.axis = rng.Intn(3)
+	case gesture.ErrLooseKnot:
+		// Insufficient tightening: motion slows and stops short.
+		inj.onset = frames / 3
+		inj.amp = 0.5 + rng.Float64()*0.3 // fraction of speed lost
+	case gesture.ErrFailureToDropoff:
+		// Grasper fails to open at the drop point.
+		inj.onset = frames / 2
+		inj.amp = 0.7 + rng.Float64()*0.2 // fraction of opening suppressed
+	case gesture.ErrInstrumentForStability:
+		// Leaning on tissue: sustained low-frequency position bias.
+		inj.onset = frames / 5
+		inj.amp = 0.008 + rng.Float64()*0.006
+		inj.axis = 2
+	default:
+		return nil
+	}
+	inj.span = frames - inj.onset
+	if inj.span < 2 {
+		inj.span = 2
+	}
+	return inj
+}
+
+// apply evaluates the signature at frame i of the gesture, returning
+// trajectory modifications:
+//
+//	warpU      — progress warp added to the normalized time u
+//	posBiasR/L — Cartesian bias per manipulator
+//	graspBiasR/L — grasper-angle bias
+//	rotBias    — rotation-angle bias
+//	speedMul   — rotation/motion speed multiplier
+func (inj *errorInjection) apply(i, frames int) (warpU float64, posBiasR, posBiasL point, graspBiasR, graspBiasL, rotBias, speedMul float64) {
+	speedMul = 1
+	if i < inj.onset || i >= inj.onset+inj.span {
+		return
+	}
+	t := float64(i-inj.onset) / float64(inj.span)
+	// Attack-and-sustain envelope: the signature ramps in over the first
+	// fifth of its span and then persists to the end of the gesture.
+	env := 1.0
+	if t < 0.2 {
+		u := t / 0.2
+		env = u * u * (3 - 2*u)
+	}
+	switch inj.mode {
+	case gesture.ErrMultipleAttempts, gesture.ErrMultipleMoves:
+		// retreat/re-approach oscillation in the progress variable
+		warpU = -inj.amp * math.Abs(math.Sin(2*math.Pi*t/inj.period)) * env
+	case gesture.ErrNeedleDrop:
+		graspBiasR = inj.amp * env
+		graspBiasL = inj.amp * env
+	case gesture.ErrOutOfView:
+		b := inj.amp * env
+		posBiasR = axisPoint(inj.axis, b)
+		posBiasL = axisPoint(inj.axis, b*0.6)
+	case gesture.ErrNotAlongCurve:
+		b := inj.amp * env * math.Sin(2*math.Pi*3*t)
+		posBiasR = axisPoint(inj.axis, b)
+		rotBias = 0.3 * env * math.Sin(2*math.Pi*5*t)
+	case gesture.ErrLooseKnot:
+		warpU = -inj.amp * t // stops short of full progress
+		speedMul = 1 - inj.amp*env
+	case gesture.ErrFailureToDropoff:
+		// suppress the grasper opening that should happen in this phase
+		graspBiasR = -inj.amp * env
+		graspBiasL = -inj.amp * env
+	case gesture.ErrInstrumentForStability:
+		posBiasR = axisPoint(inj.axis, -inj.amp*env)
+	}
+	return
+}
+
+func axisPoint(axis int, v float64) point {
+	switch axis {
+	case 0:
+		return point{x: v}
+	case 1:
+		return point{y: v}
+	default:
+		return point{z: v}
+	}
+}

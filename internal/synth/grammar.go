@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/gesture"
+)
+
+// taskGrammar holds the hand-specified Markov-chain transition structure of
+// each task, mirroring Figure 3 of the paper. The Suturing probabilities
+// follow Figure 3a; Block Transfer is the deterministic cycle of Figure 3b.
+type taskGrammar struct {
+	start       map[gesture.Gesture]float64
+	transitions map[gesture.Gesture]map[gesture.Gesture]float64
+	// endProb gives the probability of terminating after each gesture;
+	// the remainder is distributed per transitions.
+	endProb map[gesture.Gesture]float64
+	// minLen / maxLen bound the sampled sequence length.
+	minLen, maxLen int
+}
+
+// grammarFor returns the grammar for a task.
+func grammarFor(task gesture.Task) taskGrammar {
+	switch task {
+	case gesture.Suturing:
+		return suturingGrammar()
+	case gesture.KnotTying:
+		return knotTyingGrammar()
+	case gesture.NeedlePassing:
+		return needlePassingGrammar()
+	case gesture.BlockTransfer:
+		return blockTransferGrammar()
+	default:
+		return taskGrammar{}
+	}
+}
+
+// suturingGrammar encodes the Figure 3a chain: demonstrations start mostly
+// at G1 (0.74) or G5 (0.21), the main stitch loop is G2→G3→G6→G4→G2 with
+// excursions through G8/G9/G10, and termination happens from G11 or G6.
+func suturingGrammar() taskGrammar {
+	g := taskGrammar{
+		start: map[gesture.Gesture]float64{
+			gesture.G1: 0.74, gesture.G5: 0.21, gesture.G8: 0.05,
+		},
+		transitions: map[gesture.Gesture]map[gesture.Gesture]float64{
+			gesture.G1:  {gesture.G2: 0.97, gesture.G5: 0.03},
+			gesture.G2:  {gesture.G3: 0.96, gesture.G8: 0.02, gesture.G6: 0.02},
+			gesture.G3:  {gesture.G6: 0.93, gesture.G2: 0.05, gesture.G4: 0.02},
+			gesture.G4:  {gesture.G2: 0.76, gesture.G8: 0.22, gesture.G10: 0.02},
+			gesture.G5:  {gesture.G2: 0.89, gesture.G8: 0.08, gesture.G3: 0.03},
+			gesture.G6:  {gesture.G4: 0.62, gesture.G2: 0.21, gesture.G9: 0.13, gesture.G11: 0.03, gesture.G10: 0.01},
+			gesture.G8:  {gesture.G2: 0.92, gesture.G3: 0.08},
+			gesture.G9:  {gesture.G6: 0.67, gesture.G4: 0.17, gesture.G10: 0.08, gesture.G11: 0.08},
+			gesture.G10: {gesture.G6: 0.50, gesture.G4: 0.50},
+			gesture.G11: {},
+		},
+		endProb: map[gesture.Gesture]float64{
+			gesture.G11: 1.00,
+			gesture.G6:  0.04,
+		},
+		minLen: 9, maxLen: 26,
+	}
+	return g
+}
+
+// knotTyingGrammar is a simplified grammar for the Knot-Tying task.
+func knotTyingGrammar() taskGrammar {
+	return taskGrammar{
+		start: map[gesture.Gesture]float64{gesture.G1: 0.8, gesture.G12: 0.2},
+		transitions: map[gesture.Gesture]map[gesture.Gesture]float64{
+			gesture.G1:  {gesture.G13: 0.85, gesture.G14: 0.15},
+			gesture.G12: {gesture.G13: 1.0},
+			gesture.G13: {gesture.G14: 0.9, gesture.G15: 0.1},
+			gesture.G14: {gesture.G15: 1.0},
+			gesture.G15: {gesture.G13: 0.55, gesture.G11: 0.45},
+			gesture.G11: {},
+		},
+		endProb: map[gesture.Gesture]float64{gesture.G11: 1.0},
+		minLen:  5, maxLen: 16,
+	}
+}
+
+// needlePassingGrammar is a simplified grammar for the Needle-Passing task.
+func needlePassingGrammar() taskGrammar {
+	return taskGrammar{
+		start: map[gesture.Gesture]float64{gesture.G1: 0.7, gesture.G5: 0.3},
+		transitions: map[gesture.Gesture]map[gesture.Gesture]float64{
+			gesture.G1:  {gesture.G2: 0.9, gesture.G5: 0.1},
+			gesture.G2:  {gesture.G3: 0.95, gesture.G8: 0.05},
+			gesture.G3:  {gesture.G6: 0.85, gesture.G4: 0.15},
+			gesture.G4:  {gesture.G2: 0.7, gesture.G8: 0.3},
+			gesture.G5:  {gesture.G2: 0.9, gesture.G8: 0.1},
+			gesture.G6:  {gesture.G4: 0.6, gesture.G2: 0.25, gesture.G11: 0.15},
+			gesture.G8:  {gesture.G2: 1.0},
+			gesture.G11: {},
+		},
+		endProb: map[gesture.Gesture]float64{gesture.G11: 1.0},
+		minLen:  7, maxLen: 22,
+	}
+}
+
+// blockTransferGrammar is the deterministic Figure 3b cycle:
+// G2 → G12 → G6 → G5 → G11.
+func blockTransferGrammar() taskGrammar {
+	return taskGrammar{
+		start: map[gesture.Gesture]float64{gesture.G2: 1},
+		transitions: map[gesture.Gesture]map[gesture.Gesture]float64{
+			gesture.G2:  {gesture.G12: 1},
+			gesture.G12: {gesture.G6: 1},
+			gesture.G6:  {gesture.G5: 1},
+			gesture.G5:  {gesture.G11: 1},
+			gesture.G11: {},
+		},
+		endProb: map[gesture.Gesture]float64{gesture.G11: 1},
+		minLen:  5, maxLen: 5,
+	}
+}
+
+// sampleGesture draws from a gesture→probability map.
+func sampleGesture(rng *rand.Rand, probs map[gesture.Gesture]float64) gesture.Gesture {
+	var total float64
+	for _, p := range probs {
+		total += p
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := rng.Float64() * total
+	var acc float64
+	// iterate in deterministic gesture order for reproducibility
+	for g := gesture.Gesture(1); g <= gesture.MaxGesture; g++ {
+		p, ok := probs[g]
+		if !ok {
+			continue
+		}
+		acc += p
+		if u < acc {
+			return g
+		}
+	}
+	// numeric fallthrough: return the highest-probability entry
+	var best gesture.Gesture
+	var bestP float64
+	for g, p := range probs {
+		if p > bestP {
+			best, bestP = g, p
+		}
+	}
+	return best
+}
+
+// SampleSequence draws a gesture sequence for the task from its grammar.
+func SampleSequence(rng *rand.Rand, task gesture.Task) []gesture.Gesture {
+	g := grammarFor(task)
+	if len(g.start) == 0 {
+		return nil
+	}
+	seq := []gesture.Gesture{sampleGesture(rng, g.start)}
+	for len(seq) < g.maxLen {
+		cur := seq[len(seq)-1]
+		if ep := g.endProb[cur]; ep > 0 && len(seq) >= g.minLen && rng.Float64() < ep {
+			break
+		}
+		next := sampleGesture(rng, g.transitions[cur])
+		if next == 0 {
+			break
+		}
+		seq = append(seq, next)
+	}
+	return seq
+}

@@ -1,0 +1,168 @@
+// Package synth generates synthetic dVRK-style surgical demonstrations that
+// substitute for the JIGSAWS dataset (see DESIGN.md §2). Each gesture has a
+// distinct kinematic prototype — anchor position, grasper-angle profile,
+// rotation activity, velocity scale — and demonstrations follow the task's
+// Markov-chain grammar with per-surgeon style and skill variability.
+// Erroneous gestures inject the Table II failure-mode signatures.
+package synth
+
+import (
+	"repro/internal/gesture"
+)
+
+// point is a 3-D workspace position (meters, dVRK task frame).
+type point struct{ x, y, z float64 }
+
+// prototype is the kinematic signature of one gesture class.
+type prototype struct {
+	// durMean / durStd parameterize the gesture duration in seconds.
+	durMean, durStd float64
+	// anchorRight / anchorLeft are the workspace targets each manipulator
+	// moves toward during the gesture.
+	anchorRight, anchorLeft point
+	// rightActive / leftActive mark which manipulator does the work;
+	// inactive arms hold position with micro-motion only.
+	rightActive, leftActive bool
+	// grasperRightStart/End and grasperLeftStart/End are grasper-angle
+	// profiles (radians), interpolated across the gesture.
+	grasperRightStart, grasperRightEnd float64
+	grasperLeftStart, grasperLeftEnd   float64
+	// rotRate is the magnitude of rotation activity (rad/s) about the
+	// gesture's characteristic axis.
+	rotRate float64
+	// rotAxis selects the rotation axis: 0=x, 1=y, 2=z.
+	rotAxis int
+	// wiggle is the amplitude of periodic fine motion (meters),
+	// characteristic of positioning gestures.
+	wiggle float64
+	// speed scales the velocity profile.
+	speed float64
+}
+
+// Workspace anchor points shared across gestures (task frame, meters).
+var (
+	ptNeedle  = point{0.050, 0.020, 0.010} // needle pickup area (right side)
+	ptNeedleL = point{-0.050, 0.020, 0.010}
+	ptTissue  = point{0.010, -0.010, 0.005} // suturing site
+	ptCenter  = point{0.000, 0.000, 0.020}
+	ptPull    = point{-0.060, 0.030, 0.030} // suture pull end point
+	ptEnd     = point{0.060, -0.040, 0.015} // task end points
+	ptRest    = point{0.030, 0.040, 0.040}
+	ptRestL   = point{-0.030, 0.040, 0.040}
+)
+
+// GrasperClosed and GrasperOpen are nominal grasper angles (radians) for a
+// firmly closed and a fully opened instrument jaw.
+const (
+	GrasperClosed = 0.15
+	GrasperOpen   = 1.10
+)
+
+// prototypes maps each gesture to its kinematic signature. The profiles are
+// chosen so that gesture classes are separable in exactly the feature
+// groups the paper uses (Cartesian, rotation, grasper angle, velocities)
+// while remaining smooth, continuous motions.
+var prototypes = map[gesture.Gesture]prototype{
+	gesture.G1: { // reaching for needle with right hand
+		durMean: 2.2, durStd: 0.5,
+		anchorRight: ptNeedle, rightActive: true,
+		grasperRightStart: GrasperOpen, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.3, rotAxis: 2, speed: 1.4,
+	},
+	gesture.G2: { // positioning needle
+		durMean: 3.0, durStd: 0.8,
+		anchorRight: ptTissue, rightActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.8, rotAxis: 2, wiggle: 0.004, speed: 0.6,
+	},
+	gesture.G3: { // pushing needle through the tissue
+		durMean: 4.0, durStd: 1.0,
+		anchorRight: point{ptTissue.x - 0.02, ptTissue.y - 0.005, ptTissue.z}, rightActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 1.2, rotAxis: 0, speed: 0.5,
+	},
+	gesture.G4: { // transferring needle from left to right
+		durMean: 3.2, durStd: 0.7,
+		anchorRight: ptCenter, anchorLeft: ptCenter,
+		rightActive: true, leftActive: true,
+		grasperRightStart: GrasperOpen, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperOpen,
+		rotRate: 0.4, rotAxis: 1, speed: 0.9,
+	},
+	gesture.G5: { // moving to center with needle in grip
+		durMean: 2.0, durStd: 0.5,
+		anchorLeft: ptCenter, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.2, rotAxis: 2, speed: 1.2,
+	},
+	gesture.G6: { // pulling suture with left hand
+		durMean: 3.5, durStd: 0.9,
+		anchorLeft: ptPull, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.2, rotAxis: 1, speed: 1.8,
+	},
+	gesture.G8: { // orienting needle
+		durMean: 2.8, durStd: 0.7,
+		anchorRight: ptTissue, rightActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 2.0, rotAxis: 1, wiggle: 0.002, speed: 0.3,
+	},
+	gesture.G9: { // using right hand to help tighten suture
+		durMean: 2.5, durStd: 0.6,
+		anchorRight: point{0.030, -0.020, 0.025}, anchorLeft: point{-0.040, 0.020, 0.025},
+		rightActive: true, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.3, rotAxis: 0, speed: 1.5,
+	},
+	gesture.G10: { // loosening more suture
+		durMean: 1.8, durStd: 0.5,
+		anchorLeft: point{-0.020, 0.010, 0.030}, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: 0.5,
+		rotRate: 0.15, rotAxis: 2, speed: 0.4,
+	},
+	gesture.G11: { // dropping suture and moving to end points
+		durMean: 2.4, durStd: 0.6,
+		anchorRight: ptEnd, anchorLeft: point{-ptEnd.x, ptEnd.y, ptEnd.z},
+		rightActive: true, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperOpen,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperOpen,
+		rotRate: 0.25, rotAxis: 2, speed: 1.3,
+	},
+	gesture.G12: { // reaching for needle with left hand
+		durMean: 2.2, durStd: 0.5,
+		anchorLeft: ptNeedleL, leftActive: true,
+		grasperLeftStart: GrasperOpen, grasperLeftEnd: GrasperClosed,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		rotRate: 0.3, rotAxis: 2, speed: 1.4,
+	},
+	gesture.G13: { // making C loop around right hand
+		durMean: 3.4, durStd: 0.8,
+		anchorLeft: ptCenter, leftActive: true,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		rotRate: 1.6, rotAxis: 2, wiggle: 0.008, speed: 0.8,
+	},
+	gesture.G14: { // reaching for suture with right hand
+		durMean: 2.0, durStd: 0.5,
+		anchorRight: point{0.040, -0.010, 0.020}, rightActive: true,
+		grasperRightStart: GrasperOpen, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.3, rotAxis: 1, speed: 1.3,
+	},
+	gesture.G15: { // pulling suture with both hands
+		durMean: 3.0, durStd: 0.8,
+		anchorRight: point{0.060, 0.030, 0.030}, anchorLeft: point{-0.060, 0.030, 0.030},
+		rightActive: true, leftActive: true,
+		grasperRightStart: GrasperClosed, grasperRightEnd: GrasperClosed,
+		grasperLeftStart: GrasperClosed, grasperLeftEnd: GrasperClosed,
+		rotRate: 0.2, rotAxis: 0, speed: 1.7,
+	},
+}

@@ -1,0 +1,165 @@
+package vision
+
+import "math"
+
+// Point2 is a 2-D image-plane point.
+type Point2 struct{ X, Y float64 }
+
+// Component is one connected component of a binary mask.
+type Component struct {
+	Area     int
+	Centroid Point2
+	// Bounding box (inclusive min, exclusive max).
+	MinX, MinY, MaxX, MaxY int
+	// Contour is the set of boundary pixels (set pixels with at least one
+	// unset 4-neighbour), in scan order.
+	Contour []Point2
+}
+
+// ConnectedComponents labels the 4-connected components of a mask and
+// returns them ordered by decreasing area — the contour-detection step of
+// the paper's Figure 7c.
+func ConnectedComponents(m *Mask) []Component {
+	labels := make([]int, len(m.Bits))
+	for i := range labels {
+		labels[i] = -1
+	}
+	var comps []Component
+	queue := make([]int, 0, 256)
+	for start, set := range m.Bits {
+		if !set || labels[start] != -1 {
+			continue
+		}
+		id := len(comps)
+		comp := Component{MinX: m.W, MinY: m.H}
+		queue = queue[:0]
+		queue = append(queue, start)
+		labels[start] = id
+		var sumX, sumY float64
+		for len(queue) > 0 {
+			p := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := p%m.W, p/m.W
+			comp.Area++
+			sumX += float64(x)
+			sumY += float64(y)
+			if x < comp.MinX {
+				comp.MinX = x
+			}
+			if y < comp.MinY {
+				comp.MinY = y
+			}
+			if x+1 > comp.MaxX {
+				comp.MaxX = x + 1
+			}
+			if y+1 > comp.MaxY {
+				comp.MaxY = y + 1
+			}
+			boundary := false
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= m.W || ny >= m.H {
+					boundary = true
+					continue
+				}
+				np := ny*m.W + nx
+				if !m.Bits[np] {
+					boundary = true
+					continue
+				}
+				if labels[np] == -1 {
+					labels[np] = id
+					queue = append(queue, np)
+				}
+			}
+			if boundary {
+				comp.Contour = append(comp.Contour, Point2{float64(x), float64(y)})
+			}
+		}
+		comp.Centroid = Point2{sumX / float64(comp.Area), sumY / float64(comp.Area)}
+		comps = append(comps, comp)
+	}
+	// sort by decreasing area (components are few; insertion sort)
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j].Area > comps[j-1].Area; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	return comps
+}
+
+// LargestComponent returns the largest connected component of the mask and
+// whether one exists.
+func LargestComponent(m *Mask) (Component, bool) {
+	comps := ConnectedComponents(m)
+	if len(comps) == 0 {
+		return Component{}, false
+	}
+	return comps[0], true
+}
+
+// TrackCentroid thresholds every frame and returns the centroid of the
+// largest matching component per frame; frames with no match repeat the
+// previous centroid (or {0,0} at the start). It builds the centroid traces
+// compared by DTW for dropoff-failure detection.
+func TrackCentroid(frames []*Image, region ThresholdRange) []Point2 {
+	out := make([]Point2, len(frames))
+	var last Point2
+	for i, f := range frames {
+		if c, ok := LargestComponent(ThresholdHSV(f, region)); ok {
+			last = c.Centroid
+		}
+		out[i] = last
+	}
+	return out
+}
+
+// DTW computes the dynamic-time-warping distance between two 2-D traces
+// using Euclidean point distance. It is the trace-comparison step used to
+// detect "large deviations that indicate when the block should have been
+// dropped, but it was not" (Figure 7d).
+func DTW(a, b []Point2) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			d := dist2(a[i-1], b[j-1])
+			best := prev[j]
+			if prev[j-1] < best {
+				best = prev[j-1]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// NormalizedDTW divides the DTW distance by the length of the longer trace,
+// giving a per-step deviation that is comparable across trajectory lengths.
+func NormalizedDTW(a, b []Point2) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return DTW(a, b) / float64(n)
+}
+
+func dist2(p, q Point2) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,144 @@
+// Package vision reimplements the marker-based computer-vision pipeline the
+// paper uses for orthogonal, automated labeling of failures in the Block
+// Transfer simulator: RGB→HSV conversion, HSV thresholding, structural
+// similarity (SSIM), connected-component contour detection with centroid
+// tracking, and dynamic time warping (DTW) between centroid traces.
+package vision
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSizeMismatch is returned when two images of different sizes are
+// compared.
+var ErrSizeMismatch = errors.New("vision: image size mismatch")
+
+// RGB is one 8-bit color pixel.
+type RGB struct{ R, G, B uint8 }
+
+// Image is a simple dense RGB raster.
+type Image struct {
+	W, H int
+	Pix  []RGB // row major, len W*H
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]RGB, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return black.
+func (im *Image) At(x, y int) RGB {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return RGB{}
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, c RGB) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = c
+}
+
+// FillRect paints an axis-aligned rectangle (clipped to the image).
+func (im *Image) FillRect(x0, y0, x1, y1 int, c RGB) {
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			im.Set(x, y, c)
+		}
+	}
+}
+
+// Clone deep-copies the image.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Gray converts the image to [0,1] luminance values.
+func (im *Image) Gray() []float64 {
+	out := make([]float64, len(im.Pix))
+	for i, p := range im.Pix {
+		out[i] = (0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)) / 255
+	}
+	return out
+}
+
+// HSV is a hue-saturation-value pixel with H in [0,360), S and V in [0,1].
+type HSV struct{ H, S, V float64 }
+
+// RGBToHSV converts one pixel.
+func RGBToHSV(c RGB) HSV {
+	r := float64(c.R) / 255
+	g := float64(c.G) / 255
+	b := float64(c.B) / 255
+	maxC := math.Max(r, math.Max(g, b))
+	minC := math.Min(r, math.Min(g, b))
+	d := maxC - minC
+	var h float64
+	switch {
+	case d == 0:
+		h = 0
+	case maxC == r:
+		h = 60 * math.Mod((g-b)/d, 6)
+	case maxC == g:
+		h = 60 * ((b-r)/d + 2)
+	default:
+		h = 60 * ((r-g)/d + 4)
+	}
+	if h < 0 {
+		h += 360
+	}
+	var s float64
+	if maxC > 0 {
+		s = d / maxC
+	}
+	return HSV{H: h, S: s, V: maxC}
+}
+
+// Mask is a binary raster produced by thresholding.
+type Mask struct {
+	W, H int
+	Bits []bool
+}
+
+// Count returns the number of set pixels.
+func (m *Mask) Count() int {
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// ThresholdRange selects pixels whose HSV components fall inside the given
+// inclusive ranges. Hue ranges may wrap (hLo > hHi selects [hLo,360)∪[0,hHi]).
+type ThresholdRange struct {
+	HLo, HHi float64
+	SLo, SHi float64
+	VLo, VHi float64
+}
+
+// ThresholdHSV produces the binary mask of pixels within the range, the
+// marker-based detection step of the paper's Figure 7b.
+func ThresholdHSV(im *Image, r ThresholdRange) *Mask {
+	m := &Mask{W: im.W, H: im.H, Bits: make([]bool, len(im.Pix))}
+	for i, p := range im.Pix {
+		h := RGBToHSV(p)
+		hueOK := false
+		if r.HLo <= r.HHi {
+			hueOK = h.H >= r.HLo && h.H <= r.HHi
+		} else {
+			hueOK = h.H >= r.HLo || h.H <= r.HHi
+		}
+		m.Bits[i] = hueOK && h.S >= r.SLo && h.S <= r.SHi && h.V >= r.VLo && h.V <= r.VHi
+	}
+	return m
+}
