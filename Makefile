@@ -1,0 +1,31 @@
+# CI entry points for the conf_dsn_YasarA20 reproduction.
+#
+#   make ci        - gofmt check, vet, build, tests (tier-1 gate)
+#   make bench     - one-iteration benchmark smoke (perf trajectory capture)
+#   make test      - tests only
+#   make fmt       - apply gofmt in place
+
+GO ?= go
+
+.PHONY: ci fmt fmtcheck vet build test bench
+
+ci: fmtcheck vet build test
+
+fmt:
+	gofmt -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x .

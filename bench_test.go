@@ -10,11 +10,11 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"testing"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -25,6 +25,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/internal/vision"
+	"repro/safemon"
 )
 
 func benchOpts(seed int64) experiments.Options {
@@ -123,8 +124,8 @@ func BenchmarkFig9ROCSweep(b *testing.B) {
 
 // ---- Hot path: per-frame online inference latency ----
 
-// trainedMonitor builds a small trained pipeline once for latency benches.
-func trainedMonitor(b *testing.B) (*core.Monitor, *kinematics.Trajectory) {
+// trainedDetector fits a small safemon backend once for latency benches.
+func trainedDetector(b *testing.B, backend string, opts ...safemon.Option) (safemon.Detector, dataset.LOSOSplit) {
 	b.Helper()
 	demos, err := synth.Generate(synth.Config{
 		Task: gesture.Suturing, Hz: 30, Seed: 99,
@@ -134,34 +135,51 @@ func trainedMonitor(b *testing.B) (*core.Monitor, *kinematics.Trajectory) {
 		b.Fatal(err)
 	}
 	fold := dataset.LOSO(synth.Trajectories(demos))[0]
-	gcCfg := core.DefaultGestureClassifierConfig()
-	gcCfg.Epochs = 2
-	gcCfg.TrainStride = 6
-	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
+	opts = append([]safemon.Option{safemon.WithEpochs(2), safemon.WithTrainStride(6)}, opts...)
+	det, err := safemon.Open(backend, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
-	elCfg := core.DefaultErrorDetectorConfig()
-	elCfg.Epochs = 2
-	elCfg.TrainStride = 6
-	el, err := core.TrainErrorLibrary(fold.Train, elCfg)
-	if err != nil {
+	if err := det.Fit(context.Background(), fold.Train); err != nil {
 		b.Fatal(err)
 	}
-	return core.NewMonitor(gc, el), fold.Test[0]
+	return det, fold
 }
 
 // BenchmarkMonitorPerFrame measures the end-to-end per-frame streaming
 // latency (Table VIII "computation time").
 func BenchmarkMonitorPerFrame(b *testing.B) {
-	mon, traj := trainedMonitor(b)
-	stream, err := mon.NewStream(nil)
+	det, fold := trainedDetector(b, "context-aware")
+	traj := fold.Test[0]
+	sess, err := det.NewSession()
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sess.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		stream.Push(&traj.Frames[i%traj.Len()])
+		if _, err := sess.Push(&traj.Frames[i%traj.Len()]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerWorkers measures the batch-evaluation throughput of the
+// concurrent Runner at increasing fan-out — the scale axis for future PRs.
+func BenchmarkRunnerWorkers(b *testing.B) {
+	det, fold := trainedDetector(b, "context-aware")
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("w"+strconv.Itoa(workers), func(b *testing.B) {
+			r := &safemon.Runner{Detector: det, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				rep, err := r.Run(ctx, fold.Test, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.AUC, "AUC")
+			}
+		})
 	}
 }
 
@@ -350,73 +368,58 @@ func windowName(w int) string { return "w" + strconv.Itoa(w) }
 // against the boundary-lookahead extension (DESIGN.md §5b).
 func BenchmarkAblationLookahead(b *testing.B) {
 	fold := ablationData(b)
-	gcCfg := core.DefaultGestureClassifierConfig()
-	gcCfg.Epochs = 2
-	gcCfg.TrainStride = 6
-	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	elCfg := core.DefaultErrorDetectorConfig()
-	elCfg.Epochs = 3
-	elCfg.TrainStride = 4
-	el, err := core.TrainErrorLibrary(fold.Train, elCfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	mon := core.NewMonitor(gc, el)
-	var seqs [][]int
-	for _, tr := range fold.Train {
-		seqs = append(seqs, tr.GestureSequence())
-	}
-	chain, err := gesture.FitMarkovChain(seqs)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Run("base", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			rep, err := mon.Evaluate(fold.Test, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(rep.AUC, "AUC")
+	ctx := context.Background()
+	for _, backend := range []string{"context-aware", "lookahead"} {
+		det, err := safemon.Open(backend,
+			safemon.WithEpochs(3), safemon.WithTrainStride(4))
+		if err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.Run("lookahead", func(b *testing.B) {
-		la := core.NewLookaheadMonitor(mon, chain)
-		for i := 0; i < b.N; i++ {
-			rep, err := la.Evaluate(fold.Test, nil)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ReportMetric(rep.AUC, "AUC")
+		if err := det.Fit(ctx, fold.Train); err != nil {
+			b.Fatal(err)
 		}
-	})
+		b.Run(backend, func(b *testing.B) {
+			r := &safemon.Runner{Detector: det, Workers: 1}
+			for i := 0; i < b.N; i++ {
+				rep, err := r.Run(ctx, fold.Test, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.AUC, "AUC")
+			}
+		})
+	}
 }
 
 // BenchmarkAblationEnvelope measures the static-envelope baseline (global
 // vs per-gesture thresholds) against the same fold.
 func BenchmarkAblationEnvelope(b *testing.B) {
 	fold := ablationData(b)
+	ctx := context.Background()
 	for _, perGesture := range []bool{false, true} {
 		name := "global"
+		opts := []safemon.Option{safemon.WithErrorFeatures(kinematics.CRG())}
 		if perGesture {
 			name = "per-gesture"
+			opts = append(opts, safemon.WithGroundTruthContext())
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				env := baseline.NewStaticEnvelope(kinematics.CRG(), perGesture)
-				if err := env.Fit(fold.Train); err != nil {
+				det, err := safemon.Open("envelope", opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := det.Fit(ctx, fold.Train); err != nil {
 					b.Fatal(err)
 				}
 				var scores []float64
 				var labels []bool
 				for _, tr := range fold.Test {
-					s, err := env.ScoreTrajectory(tr)
+					trace, err := det.Run(ctx, tr)
 					if err != nil {
 						b.Fatal(err)
 					}
-					scores = append(scores, s...)
+					scores = append(scores, trace.Scores()...)
 					for _, u := range tr.Unsafe {
 						labels = append(labels, u)
 					}

@@ -1,26 +1,29 @@
-// Command monitor trains the context-aware safety monitor on synthetic
+// Command monitor trains a safety-monitoring backend on synthetic
 // demonstrations, then streams a held-out demonstration through it frame by
 // frame, printing alerts as they fire — the online deployment scenario of
-// the paper's Figure 4.
+// the paper's Figure 4. The detection backend is selected by name from the
+// safemon registry.
 //
 // Usage:
 //
 //	monitor -task suturing -demos 24
 //	monitor -task blocktransfer -threshold 0.6
+//	monitor -backend lookahead -workers 4
+//	monitor -backend envelope -threshold 0.2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gesture"
-	"repro/internal/kinematics"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/safemon"
 )
 
 func main() {
@@ -33,23 +36,39 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	taskName := fs.String("task", "suturing", "task: suturing or blocktransfer")
+	backend := fs.String("backend", "context-aware",
+		"detection backend: "+strings.Join(safemon.Backends(), ", "))
 	demos := fs.Int("demos", 24, "number of demonstrations (last LOSO trial held out)")
 	seed := fs.Int64("seed", 1, "deterministic seed")
-	threshold := fs.Float64("threshold", 0.5, "unsafe-probability alert threshold")
+	threshold := fs.Float64("threshold", 0.5, "unsafe-score alert threshold")
 	groundTruth := fs.Bool("perfect", false, "use ground-truth gesture boundaries")
+	workers := fs.Int("workers", 1,
+		"evaluation workers (0 = GOMAXPROCS; >1 inflates the compute-time figure with scheduling contention)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx := context.Background()
 
 	task := gesture.Suturing
-	features := kinematics.AllFeatures()
-	errFeatures := kinematics.CRG()
-	window := 5
+	opts := []safemon.Option{
+		safemon.WithThreshold(*threshold),
+		safemon.WithSeed(*seed),
+		safemon.WithTiming(),
+	}
 	if strings.EqualFold(*taskName, "blocktransfer") {
 		task = gesture.BlockTransfer
-		features = kinematics.CG()
-		errFeatures = kinematics.CG()
-		window = 10
+		opts = append(opts,
+			safemon.WithFeatures(safemon.CG()),
+			safemon.WithErrorFeatures(safemon.CG()),
+			safemon.WithWindow(10))
+	}
+	if *groundTruth {
+		opts = append(opts, safemon.WithGroundTruthContext())
+	}
+
+	det, err := safemon.Open(*backend, opts...)
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "generating %d %v demonstrations...\n", *demos, task)
@@ -63,27 +82,10 @@ func run(args []string) error {
 	folds := dataset.LOSO(synth.Trajectories(set))
 	fold := folds[len(folds)-1]
 
-	fmt.Fprintln(os.Stderr, "training gesture classifier...")
-	gcCfg := core.DefaultGestureClassifierConfig()
-	gcCfg.Features = features
-	gcCfg.Seed = *seed
-	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
-	if err != nil {
+	fmt.Fprintf(os.Stderr, "fitting %s backend on %d demos...\n", *backend, len(fold.Train))
+	if err := det.Fit(ctx, fold.Train); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "training erroneous-gesture library...")
-	elCfg := core.DefaultErrorDetectorConfig()
-	elCfg.Features = errFeatures
-	elCfg.Window = window
-	elCfg.Seed = *seed + 7
-	lib, err := core.TrainErrorLibrary(fold.Train, elCfg)
-	if err != nil {
-		return err
-	}
-
-	mon := core.NewMonitor(gc, lib)
-	mon.Threshold = *threshold
-	mon.UseGroundTruthGestures = *groundTruth
 
 	target := fold.Test[0]
 	for _, tr := range fold.Test {
@@ -95,18 +97,22 @@ func run(args []string) error {
 	fmt.Fprintf(os.Stderr, "streaming a held-out demonstration (%d frames, %.0f%% unsafe)...\n",
 		target.Len(), 100*target.UnsafeFraction())
 
-	var gt []int
+	var sessOpts []safemon.SessionOption
 	if *groundTruth {
-		gt = target.Gestures
+		sessOpts = append(sessOpts, safemon.WithSessionLabels(target.Gestures))
 	}
-	stream, err := mon.NewStream(gt)
+	sess, err := det.NewSession(sessOpts...)
 	if err != nil {
 		return err
 	}
+	defer sess.Close()
 	inAlert := false
 	alerts := 0
 	for i := range target.Frames {
-		v := stream.Push(&target.Frames[i])
+		v, err := sess.Push(&target.Frames[i])
+		if err != nil {
+			return err
+		}
 		if v.Unsafe && !inAlert {
 			alerts++
 			fmt.Printf("t=%6.2fs  ALERT  context=%-4s score=%.2f (ground truth: gesture=%s unsafe=%v)\n",
@@ -116,12 +122,13 @@ func run(args []string) error {
 		inAlert = v.Unsafe
 	}
 
-	rep, err := mon.Evaluate(fold.Test, nil)
+	runner := &safemon.Runner{Detector: det, Workers: *workers}
+	rep, err := runner.Run(ctx, fold.Test, nil)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\n%d alert episodes on the streamed demo\n", alerts)
-	fmt.Printf("held-out fold: AUC %.3f, F1 %.3f, mean reaction %+.0f ms, early %.1f%%, compute %.3f ms/frame\n",
-		rep.AUC, rep.F1, stats.Mean(rep.ReactionTimesMS), rep.EarlyDetectionPct, rep.ComputeTimeMS)
+	fmt.Printf("held-out fold (%s): AUC %.3f, F1 %.3f, mean reaction %+.0f ms, early %.1f%%, compute %.3f ms/frame\n",
+		*backend, rep.AUC, rep.F1, stats.Mean(rep.ReactionTimesMS), rep.EarlyDetectionPct, rep.ComputeTimeMS)
 	return nil
 }

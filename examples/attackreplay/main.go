@@ -4,9 +4,9 @@
 // The scenario follows the paper's threat model (§I, §IV-B): a malicious
 // fault in the cyber layer perturbs the kinematic state variables — here a
 // stealthy grasper-angle ramp injected mid-carry, the signature that causes
-// unintentional needle/object drops. The monitor runs online next to the
-// robot; the example measures how long after the attack onset the first
-// alert fires.
+// unintentional needle/object drops. The safemon detector runs online next
+// to the robot; the example measures how long after the attack onset the
+// first alert fires.
 //
 // Run with:
 //
@@ -14,15 +14,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
 	"repro/internal/gesture"
 	"repro/internal/kinematics"
 	"repro/internal/synth"
+	"repro/safemon"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// Train the monitor on clean + erroneous Suturing demonstrations.
 	demos, err := synth.Generate(synth.Config{
 		Task: gesture.Suturing, Hz: 30, Seed: 11,
@@ -42,15 +45,10 @@ func run() error {
 	}
 	fold := dataset.LOSO(synth.Trajectories(demos))[0]
 
-	gc, err := core.TrainGestureClassifier(fold.Train, core.DefaultGestureClassifierConfig())
-	if err != nil {
+	det := safemon.New()
+	if err := det.Fit(ctx, fold.Train); err != nil {
 		return err
 	}
-	lib, err := core.TrainErrorLibrary(fold.Train, core.DefaultErrorDetectorConfig())
-	if err != nil {
-		return err
-	}
-	mon := core.NewMonitor(gc, lib)
 
 	// Take a clean (error-free) held-out demonstration as the victim
 	// trajectory and inject the attack into its kinematic state.
@@ -81,13 +79,17 @@ func run() error {
 		attack.Target, onset, end, float64(onset)/victim.HzRate, float64(end)/victim.HzRate)
 
 	// Stream the compromised trajectory through the online monitor.
-	stream, err := mon.NewStream(nil)
+	sess, err := det.NewSession()
 	if err != nil {
 		return err
 	}
+	defer sess.Close()
 	firstAlert := -1
 	for i := range compromised.Frames {
-		v := stream.Push(&compromised.Frames[i])
+		v, err := sess.Push(&compromised.Frames[i])
+		if err != nil {
+			return err
+		}
 		if v.Unsafe && i >= onset && firstAlert < 0 {
 			firstAlert = i
 			fmt.Printf("t=%5.2fs  ALERT in context %-4s (score %.2f)\n",
@@ -105,14 +107,18 @@ func run() error {
 		fmt.Printf(" (%.0f ms left before the attack completes — the mitigation budget)\n", budget)
 	}
 
-	// Control: the clean victim should raise no (or few) alerts.
-	cleanStream, err := mon.NewStream(nil)
-	if err != nil {
+	// Control: the clean victim should raise no (or few) alerts. Reset
+	// reuses the session's buffers for the second stream.
+	if err := sess.Reset(nil); err != nil {
 		return err
 	}
 	cleanAlerts := 0
 	for i := range victim.Frames {
-		if cleanStream.Push(&victim.Frames[i]).Unsafe {
+		v, err := sess.Push(&victim.Frames[i])
+		if err != nil {
+			return err
+		}
+		if v.Unsafe {
 			cleanAlerts++
 		}
 	}

@@ -16,16 +16,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultinject"
 	"repro/internal/kinematics"
 	"repro/internal/simulator"
 	"repro/internal/vision"
+	"repro/safemon"
 )
 
 func main() {
@@ -113,20 +114,18 @@ func run() error {
 	trajs = append(trajs, labeled...)
 
 	fold := dataset.LOSO(trajs)[0]
-	gcCfg := core.DefaultGestureClassifierConfig()
-	gcCfg.Features = kinematics.CG()
-	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
+	det, err := safemon.Open("context-aware",
+		safemon.WithFeatures(safemon.CG()),
+		safemon.WithErrorFeatures(safemon.CG()),
+		safemon.WithWindow(10))
 	if err != nil {
 		return err
 	}
-	elCfg := core.DefaultErrorDetectorConfig()
-	elCfg.Features = kinematics.CG()
-	elCfg.Window = 10
-	lib, err := core.TrainErrorLibrary(fold.Train, elCfg)
-	if err != nil {
+	ctx := context.Background()
+	if err := det.Fit(ctx, fold.Train); err != nil {
 		return err
 	}
-	rep, err := core.NewMonitor(gc, lib).Evaluate(fold.Test, nil)
+	rep, err := (&safemon.Runner{Detector: det}).Run(ctx, fold.Test, nil)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,11 @@
-// Quickstart: the smallest end-to-end use of the safety monitor.
+// Quickstart: the smallest end-to-end use of the safety monitor through
+// the public safemon façade.
 //
-// It generates a handful of synthetic Suturing demonstrations, trains the
+// It generates a handful of synthetic Suturing demonstrations, fits the
 // two-stage context-aware pipeline (gesture classifier + erroneous-gesture
-// library), and streams one held-out demonstration through the online
-// monitor, printing every alert.
+// library) with safemon.New, streams one held-out demonstration through a
+// Session, printing every alert, and evaluates the whole fold with the
+// concurrent Runner.
 //
 // Run with:
 //
@@ -11,13 +13,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gesture"
 	"repro/internal/synth"
+	"repro/safemon"
 )
 
 func main() {
@@ -27,6 +30,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// 1. Data: synthetic dVRK-style Suturing demonstrations with
 	//    gesture and safety annotations.
 	demos, err := synth.Generate(synth.Config{
@@ -41,35 +46,27 @@ func run() error {
 	fmt.Printf("generated %d demos; training on %d, testing on %d\n",
 		len(demos), len(fold.Train), len(fold.Test))
 
-	// 2. Stage 1: the stacked-LSTM gesture classifier.
-	gcCfg := core.DefaultGestureClassifierConfig()
-	gcCfg.Epochs = 5
-	gc, err := core.TrainGestureClassifier(fold.Train, gcCfg)
-	if err != nil {
-		return err
-	}
-	acc, err := gc.Accuracy(fold.Test)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("gesture classification accuracy: %.1f%%\n", 100*acc)
-
-	// 3. Stage 2: the per-gesture erroneous-gesture library (1D-CNNs).
-	el, err := core.TrainErrorLibrary(fold.Train, core.DefaultErrorDetectorConfig())
-	if err != nil {
+	// 2. One call fits both stages of the paper's pipeline: the
+	//    stacked-LSTM gesture classifier and the per-gesture 1D-CNN
+	//    erroneous-gesture library.
+	det := safemon.New(safemon.WithEpochs(5))
+	if err := det.Fit(ctx, fold.Train); err != nil {
 		return err
 	}
 
-	// 4. Online monitoring: stream one held-out demo frame by frame.
-	mon := core.NewMonitor(gc, el)
-	stream, err := mon.NewStream(nil)
+	// 3. Online monitoring: stream one held-out demo frame by frame.
+	sess, err := det.NewSession()
 	if err != nil {
 		return err
 	}
+	defer sess.Close()
 	target := fold.Test[0]
 	alerting := false
 	for i := range target.Frames {
-		v := stream.Push(&target.Frames[i])
+		v, err := sess.Push(&target.Frames[i])
+		if err != nil {
+			return err
+		}
 		if v.Unsafe && !alerting {
 			fmt.Printf("t=%5.2fs ALERT: unsafe %s (score %.2f)\n",
 				float64(i)/target.HzRate, gesture.Gesture(v.Gesture), v.Score)
@@ -77,12 +74,13 @@ func run() error {
 		alerting = v.Unsafe
 	}
 
-	// 5. Quantitative evaluation on the whole held-out fold.
-	rep, err := mon.Evaluate(fold.Test, nil)
+	// 4. Quantitative evaluation on the whole held-out fold, fanned
+	//    across all cores.
+	rep, err := (&safemon.Runner{Detector: det}).Run(ctx, fold.Test, nil)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("held-out fold: AUC %.3f  F1 %.3f  compute %.3f ms/frame\n",
-		rep.AUC, rep.F1, rep.ComputeTimeMS)
+	fmt.Printf("held-out fold: AUC %.3f  F1 %.3f  gesture accuracy %.1f%%\n",
+		rep.AUC, rep.F1, 100*rep.GestureAccuracy)
 	return nil
 }

@@ -1,10 +1,10 @@
 // Suturing monitoring: the paper's dVRK scenario in full.
 //
-// Trains the context-aware pipeline on synthetic JIGSAWS-style Suturing
-// demonstrations with the paper's LOSO protocol and compares three setups
-// side by side (the Table VIII experiment): perfect gesture boundaries,
-// predicted boundaries, and the non-context-specific baseline — then
-// prints the per-gesture breakdown (Table IX style).
+// Fits the context-aware pipeline on synthetic JIGSAWS-style Suturing
+// demonstrations with the paper's LOSO protocol and compares three safemon
+// backends side by side (the Table VIII experiment): perfect gesture
+// boundaries, predicted boundaries, and the non-context-specific baseline —
+// then prints the per-gesture breakdown (Table IX style).
 //
 // Run with:
 //
@@ -12,15 +12,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gesture"
 	"repro/internal/kinematics"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/safemon"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	demos, err := synth.Generate(synth.Config{
 		Task: gesture.Suturing, Hz: 30, Seed: 7,
 		NumDemos: 24, NumTrials: 4, Subjects: 6, DurationScale: 0.6,
@@ -42,53 +44,40 @@ func run() error {
 	fmt.Printf("Suturing LOSO: train %d demos, test %d demos\n", len(fold.Train), len(fold.Test))
 
 	// Ground-truth error onsets from the generator, for reaction times.
-	truths := make([][]core.ErrorTruth, len(fold.Test))
+	truths := make([][]safemon.ErrorTruth, len(fold.Test))
 	index := map[*kinematics.Trajectory]*synth.Demo{}
 	for _, d := range demos {
 		index[d.Traj] = d
 	}
 	for i, tr := range fold.Test {
 		for _, ev := range index[tr].Events {
-			truths[i] = append(truths[i], core.ErrorTruth{
+			truths[i] = append(truths[i], safemon.ErrorTruth{
 				Gesture: int(ev.Gesture), SegStart: ev.SegStart, SegEnd: ev.SegEnd, Onset: ev.Onset,
 			})
 		}
 	}
 
-	gc, err := core.TrainGestureClassifier(fold.Train, core.DefaultGestureClassifierConfig())
-	if err != nil {
-		return err
-	}
-	acc, err := gc.Accuracy(fold.Test)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("gesture classifier accuracy: %.1f%%\n\n", 100*acc)
-
-	lib, err := core.TrainErrorLibrary(fold.Train, core.DefaultErrorDetectorConfig())
-	if err != nil {
-		return err
-	}
-	monoCfg := core.DefaultErrorDetectorConfig()
-	monoCfg.Arch = core.ArchLSTM
-	monoCfg.Features = kinematics.AllFeatures()
-	mono, err := core.TrainMonolithicDetector(fold.Train, monoCfg)
-	if err != nil {
-		return err
-	}
-
-	perfect := core.NewMonitor(nil, lib)
-	perfect.UseGroundTruthGestures = true
-
-	for _, setup := range []struct {
-		name string
-		mon  *core.Monitor
+	setups := []struct {
+		name    string
+		backend string
+		opts    []safemon.Option
 	}{
-		{"gesture-specific, perfect boundaries", perfect},
-		{"gesture-specific, gesture classifier", core.NewMonitor(gc, lib)},
-		{"non-gesture-specific baseline", core.NewMonitor(nil, mono)},
-	} {
-		rep, err := setup.mon.Evaluate(fold.Test, truths)
+		{"gesture-specific, perfect boundaries", "context-aware",
+			[]safemon.Option{safemon.WithGroundTruthContext()}},
+		{"gesture-specific, gesture classifier", "context-aware", nil},
+		{"non-gesture-specific baseline", "monolithic",
+			[]safemon.Option{safemon.WithArch(safemon.ArchLSTM), safemon.WithErrorFeatures(safemon.AllFeatures())}},
+	}
+	var classifierReport *safemon.PipelineReport
+	for _, setup := range setups {
+		det, err := safemon.Open(setup.backend, setup.opts...)
+		if err != nil {
+			return err
+		}
+		if err := det.Fit(ctx, fold.Train); err != nil {
+			return err
+		}
+		rep, err := (&safemon.Runner{Detector: det}).Run(ctx, fold.Test, truths)
 		if err != nil {
 			return err
 		}
@@ -96,13 +85,14 @@ func run() error {
 			setup.name, rep.AUC, rep.F1,
 			stats.Mean(rep.ReactionTimesMS), stats.StdDev(rep.ReactionTimesMS),
 			rep.EarlyDetectionPct)
+		if setup.name == "gesture-specific, gesture classifier" {
+			classifierReport = rep
+			fmt.Printf("%-40s (frame-level gesture accuracy %.1f%%)\n", "",
+				100*rep.GestureAccuracy)
+		}
 	}
 
 	// Per-gesture breakdown for the context-specific pipeline.
-	rep, err := core.NewMonitor(gc, lib).Evaluate(fold.Test, truths)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nper-gesture breakdown (context-specific pipeline):\n%s", rep.Render())
+	fmt.Printf("\nper-gesture breakdown (context-specific pipeline):\n%s", classifierReport.Render())
 	return nil
 }

@@ -207,6 +207,66 @@ func (sc *SkipChain) Predict(x [][]float64) ([]int, error) {
 	return out, nil
 }
 
+// OnlineDecoder labels gestures one frame at a time with the incremental
+// Viterbi forward pass: it maintains the per-class path scores and reports
+// the best class after each frame (filtering, no backward smoothing), so a
+// streaming session sees exactly the label an offline prefix decode would
+// assign to its newest frame.
+type OnlineDecoder struct {
+	sc    *SkipChain
+	delta []float64
+	next  []float64
+	t     int
+}
+
+// NewOnlineDecoder creates a streaming decoder over the fitted chain.
+func (sc *SkipChain) NewOnlineDecoder() (*OnlineDecoder, error) {
+	if !sc.fitted {
+		return nil, ErrNotFitted
+	}
+	k := len(sc.classes)
+	return &OnlineDecoder{sc: sc, delta: make([]float64, k), next: make([]float64, k)}, nil
+}
+
+// Reset rewinds the decoder to the start of a new sequence.
+func (d *OnlineDecoder) Reset() { d.t = 0 }
+
+// Push consumes one feature frame and returns its gesture label.
+func (d *OnlineDecoder) Push(x []float64) int {
+	sc := d.sc
+	if d.t == 0 {
+		for k, c := range sc.classes {
+			d.delta[k] = sc.logPrior[c] + sc.logEmission(x, c)
+		}
+	} else {
+		for k, c := range sc.classes {
+			best := math.Inf(-1)
+			for j, p := range sc.classes {
+				score := d.delta[j] + sc.logTrans[p][c]
+				if p == c {
+					score += sc.SelfBias
+				}
+				if d.t >= sc.SkipLag {
+					score += sc.SkipWeight * sc.logSkip[p][c]
+				}
+				if score > best {
+					best = score
+				}
+			}
+			d.next[k] = best + sc.logEmission(x, c)
+		}
+		d.delta, d.next = d.next, d.delta
+	}
+	d.t++
+	bestK := 0
+	for k := 1; k < len(d.delta); k++ {
+		if d.delta[k] > d.delta[bestK] {
+			bestK = k
+		}
+	}
+	return sc.classes[bestK]
+}
+
 // Accuracy computes frame-level accuracy over labeled sequences.
 func (sc *SkipChain) Accuracy(xs [][][]float64, ys [][]int) (float64, error) {
 	var correct, total int

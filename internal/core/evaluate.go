@@ -104,6 +104,32 @@ func ratio(a, b int) float64 {
 // the full pipeline report. truths supplies per-trajectory error ground
 // truth; pass nil to derive it from the labels.
 func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth) (*PipelineReport, error) {
+	run := m.Run
+	if m.runOverride != nil {
+		run = m.runOverride
+	}
+	traces := make([]*Trace, len(trajs))
+	for ti, traj := range trajs {
+		trace, err := run(traj)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluate trajectory %d: %w", ti, err)
+		}
+		traces[ti] = trace
+	}
+	contextPredicted := !(m.UseGroundTruthGestures || !m.Errors.GestureSpecific)
+	return EvaluateTraces(trajs, traces, truths, m.Threshold, contextPredicted)
+}
+
+// EvaluateTraces aggregates precomputed traces into a pipeline report.
+// traces[i] must be frame-aligned with trajs[i]. contextPredicted enables
+// the gesture-accuracy metric (set it when the traces' gesture context came
+// from a classifier rather than annotations). The aggregation is fully
+// deterministic in its inputs, which lets concurrent trace producers (the
+// safemon Runner) yield reports identical to the sequential path.
+func EvaluateTraces(trajs []*kinematics.Trajectory, traces []*Trace, truths [][]ErrorTruth, threshold float64, contextPredicted bool) (*PipelineReport, error) {
+	if len(traces) != len(trajs) {
+		return nil, fmt.Errorf("core: %d traces for %d trajectories", len(traces), len(trajs))
+	}
 	rep := &PipelineReport{PerGesture: map[int]*GestureTimeliness{}}
 	var allScores []float64
 	var allLabels []bool
@@ -111,14 +137,10 @@ func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth
 	var computeNS float64
 	var computeFrames int
 
-	run := m.Run
-	if m.runOverride != nil {
-		run = m.runOverride
-	}
 	for ti, traj := range trajs {
-		trace, err := run(traj)
-		if err != nil {
-			return nil, fmt.Errorf("core: evaluate trajectory %d: %w", ti, err)
+		trace := traces[ti]
+		if len(trace.Verdicts) != len(traj.Frames) {
+			return nil, fmt.Errorf("core: trace %d has %d verdicts for %d frames", ti, len(trace.Verdicts), len(traj.Frames))
 		}
 		scores := trace.Scores()
 		msPerFrame := 1000.0 / traj.HzRate
@@ -129,7 +151,7 @@ func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth
 			labels[i] = traj.Unsafe[i]
 			allScores = append(allScores, scores[i])
 			allLabels = append(allLabels, labels[i])
-			rep.Confusion.Add(scores[i] >= m.Threshold, labels[i])
+			rep.Confusion.Add(scores[i] >= threshold, labels[i])
 		}
 		rep.PerDemoAUC = append(rep.PerDemoAUC, stats.AUC(scores, labels))
 		computeNS += (trace.GestureComputeNS + trace.ErrorComputeNS) * float64(len(scores))
@@ -137,8 +159,7 @@ func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth
 
 		// Context accuracy + per-gesture jitter.
 		pred := trace.PredictedGestures()
-		usedGT := m.UseGroundTruthGestures || !m.Errors.GestureSpecific
-		if !usedGT {
+		if contextPredicted {
 			for i, g := range pred {
 				if g == traj.Gestures[i] {
 					gestureCorrect++
@@ -177,7 +198,7 @@ func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth
 			// Segment-level erroneous detection bookkeeping.
 			flagged := false
 			for i := seg.Start; i < seg.End; i++ {
-				if scores[i] >= m.Threshold {
+				if scores[i] >= threshold {
 					flagged = true
 					break
 				}
@@ -209,7 +230,7 @@ func (m *Monitor) Evaluate(trajs []*kinematics.Trajectory, truths [][]ErrorTruth
 				lo = 0
 			}
 			for i := lo; i < tr.SegEnd; i++ {
-				if scores[i] >= m.Threshold {
+				if scores[i] >= threshold {
 					det = i
 					break
 				}

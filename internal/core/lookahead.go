@@ -97,6 +97,50 @@ func (lm *LookaheadMonitor) Run(traj *kinematics.Trajectory) (*Trace, error) {
 	return out, nil
 }
 
+// LookaheadStream is the online counterpart of LookaheadMonitor.Run: it
+// wraps the base monitor's stream and pre-activates the most likely next
+// gesture's error head on the same sliding window.
+type LookaheadStream struct {
+	lm   *LookaheadMonitor
+	base *Stream
+}
+
+// NewStream creates a streaming session with boundary lookahead.
+// groundTruth follows the same contract as Monitor.NewStream.
+func (lm *LookaheadMonitor) NewStream(groundTruth []int) (*LookaheadStream, error) {
+	base, err := lm.Monitor.NewStream(groundTruth)
+	if err != nil {
+		return nil, err
+	}
+	return &LookaheadStream{lm: lm, base: base}, nil
+}
+
+// Reset rewinds the stream for reuse on another trajectory.
+func (ls *LookaheadStream) Reset(groundTruth []int) error {
+	return ls.base.Reset(groundTruth)
+}
+
+// Push consumes one frame and returns the lookahead-blended verdict.
+func (ls *LookaheadStream) Push(f *kinematics.Frame) FrameVerdict {
+	v := ls.base.Push(f)
+	lm := ls.lm
+	if !lm.Errors.GestureSpecific {
+		return v // lookahead only applies to the context-aware library
+	}
+	blend := lm.Blend
+	if blend <= 0 {
+		blend = 0.8
+	}
+	next := lm.nextGesture(v.Gesture)
+	if next != 0 && lm.Errors.PerGesture[next] != nil {
+		if s := blend * lm.Errors.Score(next, ls.base.errorBuf); s > v.Score {
+			v.Score = s
+			v.Unsafe = s >= lm.Threshold
+		}
+	}
+	return v
+}
+
 // Evaluate mirrors Monitor.Evaluate but routes through the lookahead Run.
 // It reuses the evaluator by temporarily materializing traces; metrics are
 // identical in definition to the base pipeline's.

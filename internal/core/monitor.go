@@ -163,7 +163,7 @@ func (m *Monitor) NewStream(groundTruth []int) (*Stream, error) {
 	if m.Errors == nil {
 		return nil, ErrMonitorIncomplete
 	}
-	if (m.UseGroundTruthGestures || !m.Errors.GestureSpecific) && m.Errors.GestureSpecific && groundTruth == nil {
+	if m.UseGroundTruthGestures && m.Errors.GestureSpecific && groundTruth == nil {
 		return nil, errors.New("core: perfect-boundary streaming needs ground-truth labels")
 	}
 	if !m.UseGroundTruthGestures && m.Errors.GestureSpecific && m.Gestures == nil {
@@ -172,16 +172,31 @@ func (m *Monitor) NewStream(groundTruth []int) (*Stream, error) {
 	return &Stream{m: m, groundTruth: groundTruth}, nil
 }
 
+// Reset rewinds the stream to frame zero so the session can be reused for
+// another trajectory without re-allocating its window buffers. groundTruth
+// replaces the per-frame gesture labels (nil outside perfect-boundary mode).
+func (s *Stream) Reset(groundTruth []int) error {
+	if s.m.UseGroundTruthGestures && s.m.Errors.GestureSpecific && groundTruth == nil {
+		return errors.New("core: perfect-boundary streaming needs ground-truth labels")
+	}
+	s.gestureBuf = s.gestureBuf[:0]
+	s.errorBuf = s.errorBuf[:0]
+	s.frameIdx = 0
+	s.groundTruth = groundTruth
+	return nil
+}
+
 // Push consumes one kinematics frame and returns the verdict for it.
 func (s *Stream) Push(f *kinematics.Frame) FrameVerdict {
 	m := s.m
 	idx := s.frameIdx
 	s.frameIdx++
 
-	// Gesture context.
+	// Gesture context. Gesture-agnostic libraries echo supplied labels so
+	// verdicts stay frame-aligned with Run's per-gesture reporting.
 	g := 0
 	switch {
-	case m.UseGroundTruthGestures && s.groundTruth != nil:
+	case (m.UseGroundTruthGestures || !m.Errors.GestureSpecific) && s.groundTruth != nil:
 		if idx < len(s.groundTruth) {
 			g = s.groundTruth[idx]
 		}

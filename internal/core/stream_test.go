@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+)
+
+// streamFixtures trains a small gesture-specific library and a monolithic
+// one on the same fold for the streaming-guard tests.
+func streamFixtures(t *testing.T) (*ErrorLibrary, *ErrorLibrary, dataset.LOSOSplit) {
+	t.Helper()
+	demos, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 23,
+		NumDemos: 6, NumTrials: 2, Subjects: 2, DurationScale: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold := dataset.LOSO(synth.Trajectories(demos))[0]
+	cfg := DefaultErrorDetectorConfig()
+	cfg.Epochs = 2
+	cfg.TrainStride = 6
+	lib, err := TrainErrorLibrary(fold.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := TrainMonolithicDetector(fold.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, mono, fold
+}
+
+// TestNewStreamGuard characterizes the perfect-boundary guard in
+// Monitor.NewStream. The previous tangled condition
+// (UseGroundTruthGestures || !GestureSpecific) && GestureSpecific && gt == nil
+// was logically equivalent to the simplified one — its gesture-agnostic
+// clause was dead code ((A || !B) && B reduces to A && B) — so these tests
+// pin down both streaming modes to keep the simplification behavior-
+// preserving.
+func TestNewStreamGuard(t *testing.T) {
+	lib, mono, fold := streamFixtures(t)
+	labels := fold.Test[0].Gestures
+
+	// Perfect boundaries + gesture-specific library: labels are required.
+	perfect := NewMonitor(nil, lib)
+	perfect.UseGroundTruthGestures = true
+	if _, err := perfect.NewStream(nil); err == nil {
+		t.Error("perfect-boundary stream without labels should fail")
+	}
+	if _, err := perfect.NewStream(labels); err != nil {
+		t.Errorf("perfect-boundary stream with labels: %v", err)
+	}
+
+	// Gesture-agnostic (monolithic) library: no labels needed in either
+	// ground-truth setting.
+	for _, useGT := range []bool{false, true} {
+		agnostic := NewMonitor(nil, mono)
+		agnostic.UseGroundTruthGestures = useGT
+		if _, err := agnostic.NewStream(nil); err != nil {
+			t.Errorf("gesture-agnostic stream (useGT=%v) without labels: %v", useGT, err)
+		}
+	}
+
+	// Predicted context without a classifier is still rejected.
+	headless := NewMonitor(nil, lib)
+	if _, err := headless.NewStream(nil); err == nil {
+		t.Error("gesture-specific stream without classifier should fail")
+	}
+}
+
+// TestStreamMatchesRun checks both streaming modes against the offline
+// path: with ground-truth context the verdicts must match Run exactly, and
+// the gesture-agnostic mode must match its Run everywhere too.
+func TestStreamMatchesRun(t *testing.T) {
+	lib, mono, fold := streamFixtures(t)
+	cases := []struct {
+		name string
+		mon  *Monitor
+	}{
+		{"perfect-boundaries", func() *Monitor {
+			m := NewMonitor(nil, lib)
+			m.UseGroundTruthGestures = true
+			return m
+		}()},
+		{"gesture-agnostic", NewMonitor(nil, mono)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			traj := fold.Test[0]
+			trace, err := tc.mon.Run(traj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels := traj.Gestures
+			stream, err := tc.mon.NewStream(labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range traj.Frames {
+				v := stream.Push(&traj.Frames[i])
+				if want := trace.Verdicts[i]; v != want {
+					t.Fatalf("frame %d: stream %+v vs run %+v", i, v, want)
+				}
+			}
+
+			// Reset replays identically.
+			if err := stream.Reset(labels); err != nil {
+				t.Fatal(err)
+			}
+			for i := range traj.Frames {
+				if v := stream.Push(&traj.Frames[i]); v.Score != trace.Verdicts[i].Score {
+					t.Fatalf("after reset, frame %d diverges", i)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamResetGuard checks that Reset re-validates the label contract.
+func TestStreamResetGuard(t *testing.T) {
+	lib, _, fold := streamFixtures(t)
+	mon := NewMonitor(nil, lib)
+	mon.UseGroundTruthGestures = true
+	stream, err := mon.NewStream(fold.Test[0].Gestures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Reset(nil); err == nil {
+		t.Error("Reset without labels in perfect-boundary mode should fail")
+	}
+}

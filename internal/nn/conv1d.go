@@ -33,8 +33,10 @@ func NewConv1D(rng *rand.Rand, in, out, k int) *Conv1D {
 // Forward implements Layer. Inputs shorter than the kernel produce a single
 // output step computed over the (zero-padded) available frames so that the
 // layer degrades gracefully at stream start.
-func (c *Conv1D) Forward(x [][]float64, _ bool) [][]float64 {
-	c.lastIn = x
+func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		c.lastIn = x
+	}
 	T := len(x)
 	outT := T - c.K + 1
 	if outT < 1 {

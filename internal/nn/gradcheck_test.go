@@ -22,11 +22,12 @@ func numericalGrad(net *Network, x [][]float64, target int, w *float64) float64 
 // parameter of the network on one sample.
 func checkGradients(t *testing.T, net *Network, x [][]float64, target int) {
 	t.Helper()
-	// analytic pass
+	// analytic pass (train mode: Backward needs the caches, which
+	// inference-mode Forward intentionally no longer writes)
 	for _, p := range net.Params() {
 		p.ZeroGrad()
 	}
-	logits := net.Forward(x, false)
+	logits := net.Forward(x, true)
 	_, grad := CrossEntropyLoss(logits, target)
 	g := [][]float64{grad}
 	for i := len(net.Layers) - 1; i >= 0; i-- {

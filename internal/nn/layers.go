@@ -29,9 +29,12 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 	return d
 }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x [][]float64, _ bool) [][]float64 {
-	d.lastIn = x
+// Forward implements Layer. Caches for Backward are only written in train
+// mode, so inference is read-only and safe for concurrent use.
+func (d *Dense) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		d.lastIn = x
+	}
 	out := seq(len(x), d.Out)
 	for t := range x {
 		for o := 0; o < d.Out; o++ {
@@ -85,8 +88,10 @@ type ReLU struct {
 var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x [][]float64, _ bool) [][]float64 {
-	r.lastIn = x
+func (r *ReLU) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		r.lastIn = x
+	}
 	if len(x) == 0 {
 		return x
 	}
@@ -131,7 +136,7 @@ type Tanh struct {
 var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
-func (a *Tanh) Forward(x [][]float64, _ bool) [][]float64 {
+func (a *Tanh) Forward(x [][]float64, train bool) [][]float64 {
 	if len(x) == 0 {
 		return x
 	}
@@ -141,7 +146,9 @@ func (a *Tanh) Forward(x [][]float64, _ bool) [][]float64 {
 			out[t][i] = math.Tanh(v)
 		}
 	}
-	a.lastOut = out
+	if train {
+		a.lastOut = out
+	}
 	return out
 }
 
@@ -179,10 +186,12 @@ func NewDropout(rng *rand.Rand, p float64) *Dropout {
 	return &Dropout{P: p, Rng: rng}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Inference leaves the layer untouched (identity).
 func (d *Dropout) Forward(x [][]float64, train bool) [][]float64 {
 	if !train || d.P <= 0 {
-		d.mask = nil
+		if train {
+			d.mask = nil
+		}
 		return x
 	}
 	keep := 1 - d.P
@@ -229,8 +238,10 @@ type TakeLast struct {
 var _ Layer = (*TakeLast)(nil)
 
 // Forward implements Layer.
-func (l *TakeLast) Forward(x [][]float64, _ bool) [][]float64 {
-	l.lastT = len(x)
+func (l *TakeLast) Forward(x [][]float64, train bool) [][]float64 {
+	if train {
+		l.lastT = len(x)
+	}
 	if len(x) == 0 {
 		return x
 	}
@@ -260,14 +271,16 @@ type GlobalMaxPool struct {
 var _ Layer = (*GlobalMaxPool)(nil)
 
 // Forward implements Layer.
-func (g *GlobalMaxPool) Forward(x [][]float64, _ bool) [][]float64 {
-	g.lastT = len(x)
+func (g *GlobalMaxPool) Forward(x [][]float64, train bool) [][]float64 {
 	if len(x) == 0 {
+		if train {
+			g.lastT = 0
+		}
 		return x
 	}
 	d := len(x[0])
 	out := seq(1, d)
-	g.argmax = make([]int, d)
+	argmax := make([]int, d)
 	for i := 0; i < d; i++ {
 		best, bestT := x[0][i], 0
 		for t := 1; t < len(x); t++ {
@@ -276,7 +289,11 @@ func (g *GlobalMaxPool) Forward(x [][]float64, _ bool) [][]float64 {
 			}
 		}
 		out[0][i] = best
-		g.argmax[i] = bestT
+		argmax[i] = bestT
+	}
+	if train {
+		g.lastT = len(x)
+		g.argmax = argmax
 	}
 	return out
 }
@@ -306,15 +323,17 @@ type Flatten struct {
 var _ Layer = (*Flatten)(nil)
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x [][]float64, _ bool) [][]float64 {
-	f.lastT = len(x)
+func (f *Flatten) Forward(x [][]float64, train bool) [][]float64 {
 	if len(x) == 0 {
 		return x
 	}
-	f.lastD = len(x[0])
-	out := seq(1, f.lastT*f.lastD)
+	tt, d := len(x), len(x[0])
+	if train {
+		f.lastT, f.lastD = tt, d
+	}
+	out := seq(1, tt*d)
 	for t := range x {
-		copy(out[0][t*f.lastD:(t+1)*f.lastD], x[t])
+		copy(out[0][t*d:(t+1)*d], x[t])
 	}
 	return out
 }

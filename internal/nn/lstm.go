@@ -70,31 +70,41 @@ func (l *LSTM) gates(x, h, dst []float64) {
 }
 
 // Forward implements Layer, running the full window with state reset.
-func (l *LSTM) Forward(x [][]float64, _ bool) [][]float64 {
+// BPTT caches are only written in train mode, keeping inference read-only
+// (and therefore safe for concurrent streams sharing one trained network).
+func (l *LSTM) Forward(x [][]float64, train bool) [][]float64 {
 	T, H := len(x), l.Hidden
-	l.xs = x
-	l.hs = seq(T+1, H)
-	l.cs = seq(T+1, H)
-	l.gi = seq(T, H)
-	l.gf = seq(T, H)
-	l.gg = seq(T, H)
-	l.g_o = seq(T, H)
 	out := seq(T, H)
+	h := make([]float64, H)
+	c := make([]float64, H)
+	if train {
+		l.xs = x
+		l.hs = seq(T+1, H)
+		l.cs = seq(T+1, H)
+		l.gi = seq(T, H)
+		l.gf = seq(T, H)
+		l.gg = seq(T, H)
+		l.g_o = seq(T, H)
+	}
 
 	pre := make([]float64, 4*H)
 	for t := 0; t < T; t++ {
-		l.gates(x[t], l.hs[t], pre)
+		l.gates(x[t], h, pre)
 		for j := 0; j < H; j++ {
 			i := sigmoid(pre[j])
 			f := sigmoid(pre[H+j])
 			g := math.Tanh(pre[2*H+j])
 			o := sigmoid(pre[3*H+j])
-			c := f*l.cs[t][j] + i*g
-			h := o * math.Tanh(c)
-			l.gi[t][j], l.gf[t][j], l.gg[t][j], l.g_o[t][j] = i, f, g, o
-			l.cs[t+1][j] = c
-			l.hs[t+1][j] = h
-			out[t][j] = h
+			cv := f*c[j] + i*g
+			hv := o * math.Tanh(cv)
+			if train {
+				l.gi[t][j], l.gf[t][j], l.gg[t][j], l.g_o[t][j] = i, f, g, o
+				l.cs[t+1][j] = cv
+				l.hs[t+1][j] = hv
+			}
+			c[j] = cv
+			h[j] = hv
+			out[t][j] = hv
 		}
 	}
 	return out

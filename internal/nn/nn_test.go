@@ -148,7 +148,7 @@ func TestLSTMStepMatchesForward(t *testing.T) {
 func TestGlobalMaxPool(t *testing.T) {
 	g := &GlobalMaxPool{}
 	x := [][]float64{{1, 5}, {3, 2}, {2, 4}}
-	out := g.Forward(x, false)
+	out := g.Forward(x, true) // train mode: the test exercises Backward
 	if out[0][0] != 3 || out[0][1] != 5 {
 		t.Fatalf("got %v, want [3 5]", out[0])
 	}

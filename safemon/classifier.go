@@ -1,0 +1,187 @@
+package safemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+)
+
+// classifierBackend selects which Table IV gesture-classifier baseline
+// provides the operational context.
+type classifierBackend int
+
+const (
+	backendSkipChain classifierBackend = iota
+	backendSDSDL
+)
+
+// classifierDetector composes a baseline gesture classifier (the context
+// stage) with a per-gesture static envelope (the error stage): the
+// classifier infers the current gesture online and the envelope validates
+// the kinematics within that context. It demonstrates that the unified
+// Detector interface accommodates backends whose two stages come from
+// entirely different model families than the paper's neural pipeline.
+type classifierDetector struct {
+	cfg     Config
+	backend classifierBackend
+
+	features FeatureSet
+	sc       *baseline.SkipChain
+	sd       *baseline.SDSDL
+	env      *baseline.StaticEnvelope
+}
+
+func newClassifierDetector(cfg Config, backend classifierBackend) *classifierDetector {
+	return &classifierDetector{cfg: cfg, backend: backend}
+}
+
+func (d *classifierDetector) name() string {
+	if d.backend == backendSDSDL {
+		return "sdsdl"
+	}
+	return "skipchain"
+}
+
+func (d *classifierDetector) Info() Info {
+	return Info{
+		Name:            d.name(),
+		Threshold:       d.cfg.Threshold,
+		PredictsContext: true,
+		Timing:          d.cfg.Timing,
+	}
+}
+
+func (d *classifierDetector) Fit(ctx context.Context, trajs []*Trajectory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	features := d.cfg.GestureFeatures
+	if features == nil {
+		features = AllFeatures()
+	}
+	xs := make([][][]float64, 0, len(trajs))
+	ys := make([][]int, 0, len(trajs))
+	for _, tr := range trajs {
+		if len(tr.Gestures) != len(tr.Frames) {
+			return errors.New("safemon: classifier backends need gesture-labeled training trajectories")
+		}
+		xs = append(xs, features.Matrix(tr))
+		ys = append(ys, tr.Gestures)
+	}
+
+	switch d.backend {
+	case backendSDSDL:
+		stride := d.cfg.TrainStride
+		if stride <= 0 {
+			stride = 4 // keeps k-means tractable on full-rate data
+		}
+		frames, labels := flattenSequences(xs, ys, stride)
+		sd := baseline.NewSDSDL(d.cfg.Atoms)
+		rng := rand.New(rand.NewSource(d.cfg.Seed))
+		if err := sd.Fit(rng, frames, labels); err != nil {
+			return fmt.Errorf("safemon: fit sdsdl context stage: %w", err)
+		}
+		d.sd = sd
+	default:
+		sc := baseline.NewSkipChain(d.cfg.SkipLag)
+		if err := sc.Fit(xs, ys); err != nil {
+			return fmt.Errorf("safemon: fit skipchain context stage: %w", err)
+		}
+		d.sc = sc
+	}
+
+	errFeatures := d.cfg.ErrorFeatures
+	if errFeatures == nil {
+		errFeatures = CRG()
+	}
+	env := baseline.NewStaticEnvelope(errFeatures, true)
+	if d.cfg.EnvelopeMargin > 0 {
+		env.Margin = d.cfg.EnvelopeMargin
+	}
+	if err := env.Fit(trajs); err != nil {
+		return fmt.Errorf("safemon: fit %s error stage: %w", d.name(), err)
+	}
+	d.features = features
+	d.env = env
+	return nil
+}
+
+// flattenSequences subsamples per-frame sequences into flat training pairs
+// (every stride-th frame), keeping SDSDL's k-means tractable.
+func flattenSequences(xs [][][]float64, ys [][]int, stride int) ([][]float64, []int) {
+	var frames [][]float64
+	var labels []int
+	for i := range xs {
+		for t := 0; t < len(xs[i]); t += stride {
+			frames = append(frames, xs[i][t])
+			labels = append(labels, ys[i][t])
+		}
+	}
+	return frames, labels
+}
+
+func (d *classifierDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, error) {
+	return runViaSession(ctx, d, traj, d.cfg.Timing)
+}
+
+func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) {
+	if d.env == nil {
+		return nil, ErrNotFitted
+	}
+	s := &classifierSession{d: d}
+	if d.sc != nil {
+		dec, err := d.sc.NewOnlineDecoder()
+		if err != nil {
+			return nil, err
+		}
+		s.dec = dec
+	}
+	return s, nil
+}
+
+type classifierSession struct {
+	d   *classifierDetector
+	dec *baseline.OnlineDecoder
+	row []float64
+	idx int
+}
+
+func (s *classifierSession) Push(f *Frame) (FrameVerdict, error) {
+	d := s.d
+	s.row = d.features.Extract(f, s.row[:0])
+	var g int
+	if s.dec != nil {
+		g = s.dec.Push(s.row)
+	} else {
+		var err error
+		g, err = d.sd.Predict(s.row)
+		if err != nil {
+			return FrameVerdict{}, err
+		}
+	}
+	score, err := d.env.Score(f, g)
+	if err != nil {
+		return FrameVerdict{}, err
+	}
+	v := FrameVerdict{
+		FrameIndex: s.idx,
+		Gesture:    g,
+		Score:      score,
+		Unsafe:     score >= d.cfg.Threshold,
+	}
+	s.idx++
+	return v, nil
+}
+
+func (s *classifierSession) Reset([]int) error {
+	if s.dec != nil {
+		s.dec.Reset()
+	}
+	s.idx = 0
+	return nil
+}
+
+func (s *classifierSession) Close() error { return nil }

@@ -1,0 +1,155 @@
+package safemon
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gesture"
+)
+
+// contextDetector adapts the paper's two-stage monitor (core.Monitor) and
+// its boundary-lookahead variant (core.LookaheadMonitor) to the Detector
+// interface. With gestureSpecific false it is the non-context-specific
+// (monolithic) baseline instead.
+type contextDetector struct {
+	cfg             Config
+	name            string
+	gestureSpecific bool
+
+	mon *core.Monitor
+	la  *core.LookaheadMonitor
+}
+
+func newContextDetector(cfg Config) *contextDetector {
+	name := "context-aware"
+	if cfg.Lookahead {
+		name = "lookahead"
+	}
+	return &contextDetector{cfg: cfg, name: name, gestureSpecific: true}
+}
+
+func newMonolithicDetector(cfg Config) *contextDetector {
+	cfg.Lookahead = false
+	return &contextDetector{cfg: cfg, name: "monolithic"}
+}
+
+func (d *contextDetector) Info() Info {
+	return Info{
+		Name:            d.name,
+		Threshold:       d.cfg.Threshold,
+		PredictsContext: d.gestureSpecific && !d.cfg.GroundTruthContext,
+		Timing:          d.cfg.Timing,
+	}
+}
+
+func (d *contextDetector) Fit(ctx context.Context, trajs []*Trajectory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	elCfg := core.DefaultErrorDetectorConfig()
+	if d.cfg.ErrorFeatures != nil {
+		elCfg.Features = d.cfg.ErrorFeatures
+	}
+	if d.cfg.Window > 0 {
+		elCfg.Window = d.cfg.Window
+	}
+	if d.cfg.Arch != 0 {
+		elCfg.Arch = d.cfg.Arch
+	}
+	if d.cfg.Epochs > 0 {
+		elCfg.Epochs = d.cfg.Epochs
+	}
+	if d.cfg.TrainStride > 0 {
+		elCfg.TrainStride = d.cfg.TrainStride
+	}
+	elCfg.Seed = d.cfg.Seed + 7
+	elCfg.Verbose = d.cfg.Verbose
+
+	var lib *core.ErrorLibrary
+	var err error
+	if d.gestureSpecific {
+		lib, err = core.TrainErrorLibrary(trajs, elCfg)
+	} else {
+		lib, err = core.TrainMonolithicDetector(trajs, elCfg)
+	}
+	if err != nil {
+		return fmt.Errorf("safemon: fit %s error stage: %w", d.name, err)
+	}
+
+	var gc *core.GestureClassifier
+	if d.gestureSpecific && !d.cfg.GroundTruthContext {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		gcCfg := core.DefaultGestureClassifierConfig()
+		if d.cfg.GestureFeatures != nil {
+			gcCfg.Features = d.cfg.GestureFeatures
+		}
+		if d.cfg.Epochs > 0 {
+			gcCfg.Epochs = d.cfg.Epochs
+		}
+		if d.cfg.TrainStride > 0 {
+			gcCfg.TrainStride = d.cfg.TrainStride
+		}
+		gcCfg.Seed = d.cfg.Seed
+		gcCfg.Verbose = d.cfg.Verbose
+		gc, err = core.TrainGestureClassifier(trajs, gcCfg)
+		if err != nil {
+			return fmt.Errorf("safemon: fit %s context stage: %w", d.name, err)
+		}
+	}
+
+	mon := core.NewMonitor(gc, lib)
+	mon.Threshold = d.cfg.Threshold
+	mon.UseGroundTruthGestures = d.cfg.GroundTruthContext
+	if d.cfg.Lookahead {
+		chain := d.cfg.Chain
+		if chain == nil {
+			seqs := make([][]int, 0, len(trajs))
+			for _, tr := range trajs {
+				seqs = append(seqs, tr.GestureSequence())
+			}
+			chain, err = gesture.FitMarkovChain(seqs)
+			if err != nil {
+				return fmt.Errorf("safemon: fit lookahead grammar: %w", err)
+			}
+		}
+		d.la = core.NewLookaheadMonitor(mon, chain)
+	}
+	d.mon = mon
+	return nil
+}
+
+func (d *contextDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, error) {
+	return runViaSession(ctx, d, traj, d.cfg.Timing)
+}
+
+func (d *contextDetector) NewSession(opts ...SessionOption) (Session, error) {
+	if d.mon == nil {
+		return nil, ErrNotFitted
+	}
+	sc := applySessionOptions(opts)
+	if d.la != nil {
+		st, err := d.la.NewStream(sc.groundTruth)
+		if err != nil {
+			return nil, err
+		}
+		return &coreSession{push: st.Push, reset: st.Reset}, nil
+	}
+	st, err := d.mon.NewStream(sc.groundTruth)
+	if err != nil {
+		return nil, err
+	}
+	return &coreSession{push: st.Push, reset: st.Reset}, nil
+}
+
+// coreSession adapts core's two stream types to the Session interface.
+type coreSession struct {
+	push  func(*Frame) FrameVerdict
+	reset func([]int) error
+}
+
+func (s *coreSession) Push(f *Frame) (FrameVerdict, error) { return s.push(f), nil }
+func (s *coreSession) Reset(groundTruth []int) error       { return s.reset(groundTruth) }
+func (s *coreSession) Close() error                        { return nil }

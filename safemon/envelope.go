@@ -1,0 +1,98 @@
+package safemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/baseline"
+)
+
+// envelopeDetector adapts baseline.StaticEnvelope: per-feature safe ranges
+// learned from safe training frames, flagging frames that leave the
+// envelope. Scores are violation magnitudes (0 = inside), so thresholds
+// near zero are typical. WithGroundTruthContext selects one envelope per
+// gesture (sessions then need WithSessionLabels); otherwise one global
+// envelope covers every context.
+type envelopeDetector struct {
+	cfg Config
+	env *baseline.StaticEnvelope
+}
+
+func newEnvelopeDetector(cfg Config) *envelopeDetector {
+	return &envelopeDetector{cfg: cfg}
+}
+
+func (d *envelopeDetector) Info() Info {
+	return Info{Name: "envelope", Threshold: d.cfg.Threshold, Timing: d.cfg.Timing}
+}
+
+func (d *envelopeDetector) Fit(ctx context.Context, trajs []*Trajectory) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	features := d.cfg.ErrorFeatures
+	if features == nil {
+		features = CRG()
+	}
+	env := baseline.NewStaticEnvelope(features, d.cfg.GroundTruthContext)
+	if d.cfg.EnvelopeMargin > 0 {
+		env.Margin = d.cfg.EnvelopeMargin
+	}
+	if err := env.Fit(trajs); err != nil {
+		return fmt.Errorf("safemon: fit envelope: %w", err)
+	}
+	d.env = env
+	return nil
+}
+
+func (d *envelopeDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, error) {
+	return runViaSession(ctx, d, traj, d.cfg.Timing)
+}
+
+func (d *envelopeDetector) NewSession(opts ...SessionOption) (Session, error) {
+	if d.env == nil {
+		return nil, ErrNotFitted
+	}
+	sc := applySessionOptions(opts)
+	if d.cfg.GroundTruthContext && sc.groundTruth == nil {
+		return nil, errors.New("safemon: per-gesture envelope session needs WithSessionLabels")
+	}
+	return &envelopeSession{d: d, labels: sc.groundTruth}, nil
+}
+
+type envelopeSession struct {
+	d      *envelopeDetector
+	labels []int
+	idx    int
+}
+
+func (s *envelopeSession) Push(f *Frame) (FrameVerdict, error) {
+	g := 0
+	if s.idx < len(s.labels) {
+		g = s.labels[s.idx]
+	}
+	score, err := s.d.env.Score(f, g)
+	if err != nil {
+		return FrameVerdict{}, err
+	}
+	v := FrameVerdict{
+		FrameIndex: s.idx,
+		Gesture:    g,
+		Score:      score,
+		Unsafe:     score >= s.d.cfg.Threshold,
+	}
+	s.idx++
+	return v, nil
+}
+
+func (s *envelopeSession) Reset(groundTruth []int) error {
+	if s.d.cfg.GroundTruthContext && groundTruth == nil {
+		return errors.New("safemon: per-gesture envelope session needs ground-truth labels")
+	}
+	s.labels = groundTruth
+	s.idx = 0
+	return nil
+}
+
+func (s *envelopeSession) Close() error { return nil }

@@ -1,0 +1,143 @@
+package safemon
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Runner evaluates a fitted detector over a batch of trajectories
+// concurrently: trajectories fan out across Workers goroutines, each
+// holding one reusable Session, and the resulting traces are merged into a
+// PipelineReport in trajectory order. Because trace aggregation is
+// deterministic and sessions are reset between trajectories, a concurrent
+// run produces a report identical to the sequential one (as long as the
+// detector was built without WithTiming).
+type Runner struct {
+	// Detector is the fitted backend to evaluate.
+	Detector Detector
+	// Workers caps the fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Traces scores every trajectory, returning traces index-aligned with the
+// input. The first error cancels the remaining work.
+func (r *Runner) Traces(ctx context.Context, trajs []*Trajectory) ([]*Trace, error) {
+	if r.Detector == nil {
+		return nil, fmt.Errorf("safemon: Runner has no detector")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trajs) {
+		workers = len(trajs)
+	}
+	if workers <= 1 {
+		return r.sequentialTraces(ctx, trajs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	timing := r.Detector.Info().Timing
+	traces := make([]*Trace, len(trajs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sess Session
+			defer func() {
+				if sess != nil {
+					sess.Close()
+				}
+			}()
+			for idx := range jobs {
+				traj := trajs[idx]
+				gt := groundTruthOf(traj)
+				var err error
+				if sess == nil {
+					sess, err = r.Detector.NewSession(WithSessionLabels(gt))
+				} else {
+					err = sess.Reset(gt)
+				}
+				if err != nil {
+					fail(fmt.Errorf("safemon: trajectory %d: %w", idx, err))
+					return
+				}
+				trace, err := replayTrace(ctx, sess, traj, timing)
+				if err != nil {
+					fail(fmt.Errorf("safemon: trajectory %d: %w", idx, err))
+					return
+				}
+				traces[idx] = trace
+			}
+		}()
+	}
+feed:
+	for i := range trajs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return traces, nil
+}
+
+// sequentialTraces is the single-worker path (also used as the reference
+// in the Runner determinism test).
+func (r *Runner) sequentialTraces(ctx context.Context, trajs []*Trajectory) ([]*Trace, error) {
+	traces := make([]*Trace, len(trajs))
+	for i, traj := range trajs {
+		trace, err := r.Detector.Run(ctx, traj)
+		if err != nil {
+			return nil, fmt.Errorf("safemon: trajectory %d: %w", i, err)
+		}
+		traces[i] = trace
+	}
+	return traces, nil
+}
+
+// Run scores the trajectories and aggregates the traces into the pipeline
+// report. truths supplies per-trajectory error ground truth; pass nil to
+// derive it from the labels.
+func (r *Runner) Run(ctx context.Context, trajs []*Trajectory, truths [][]ErrorTruth) (*PipelineReport, error) {
+	traces, err := r.Traces(ctx, trajs)
+	if err != nil {
+		return nil, err
+	}
+	info := r.Detector.Info()
+	return core.EvaluateTraces(trajs, traces, truths, info.Threshold, info.PredictsContext)
+}
+
+// groundTruthOf returns the trajectory's gesture labels when fully present.
+func groundTruthOf(traj *Trajectory) []int {
+	if len(traj.Gestures) == len(traj.Frames) {
+		return traj.Gestures
+	}
+	return nil
+}

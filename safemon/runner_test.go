@@ -1,0 +1,97 @@
+package safemon
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestRunnerDeterminism is the acceptance check for the concurrent batch
+// path: a 4-worker Runner must yield a report byte-identical to the
+// sequential one on the same test set.
+func TestRunnerDeterminism(t *testing.T) {
+	fold := testFold(t)
+	ctx := context.Background()
+	for _, backend := range []string{"context-aware", "envelope", "skipchain"} {
+		t.Run(backend, func(t *testing.T) {
+			det := fittedDetector(t, backend)
+			seq, err := (&Runner{Detector: det, Workers: 1}).Run(ctx, fold.Test, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := (&Runner{Detector: det, Workers: 4}).Run(ctx, fold.Test, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("concurrent report differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+			seqB, err := json.Marshal(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parB, err := json.Marshal(par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(seqB) != string(parB) {
+				t.Fatalf("serialized reports differ")
+			}
+			// Repeat runs are reproducible too.
+			again, err := (&Runner{Detector: det, Workers: 4}).Run(ctx, fold.Test, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(par, again) {
+				t.Fatal("repeated concurrent run differs")
+			}
+		})
+	}
+}
+
+// TestRunnerMatchesDetectorRun checks trace alignment: Traces()[i] equals
+// Detector.Run on trajs[i] regardless of scheduling.
+func TestRunnerMatchesDetectorRun(t *testing.T) {
+	fold := testFold(t)
+	ctx := context.Background()
+	det := fittedDetector(t, "monolithic")
+	traces, err := (&Runner{Detector: det, Workers: 3}).Traces(ctx, fold.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, traj := range fold.Test {
+		ref, err := det.Run(ctx, traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Verdicts, traces[i].Verdicts) {
+			t.Fatalf("trace %d differs between Runner and Run", i)
+		}
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "envelope")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Runner{Detector: det, Workers: 2}).Run(ctx, fold.Test, nil); err == nil {
+		t.Fatal("cancelled runner should fail")
+	}
+}
+
+func TestRunnerReportsGestureAccuracy(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "context-aware")
+	rep, err := (&Runner{Detector: det, Workers: 2}).Run(context.Background(), fold.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GestureAccuracy <= 0 {
+		t.Errorf("context-predicting backend should report gesture accuracy, got %v", rep.GestureAccuracy)
+	}
+	if len(rep.PerDemoAUC) != len(fold.Test) {
+		t.Errorf("PerDemoAUC has %d entries for %d demos", len(rep.PerDemoAUC), len(fold.Test))
+	}
+}

@@ -1,0 +1,101 @@
+package safemon
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// replayTrace streams a trajectory through an existing session and collects
+// the trace. The session must be freshly created or Reset. When timing is
+// set, the mean per-frame push latency lands in Trace.ErrorComputeNS.
+func replayTrace(ctx context.Context, s Session, traj *Trajectory, timing bool) (*Trace, error) {
+	trace := &Trace{Verdicts: make([]FrameVerdict, 0, len(traj.Frames))}
+	var elapsed time.Duration
+	for i := range traj.Frames {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		var start time.Time
+		if timing {
+			start = time.Now()
+		}
+		v, err := s.Push(&traj.Frames[i])
+		if timing {
+			elapsed += time.Since(start)
+		}
+		if err != nil {
+			return nil, err
+		}
+		trace.Verdicts = append(trace.Verdicts, v)
+		if v.Unsafe {
+			trace.Alerts = append(trace.Alerts, core.Alert{FrameIndex: v.FrameIndex, Gesture: v.Gesture, Score: v.Score})
+		}
+	}
+	if timing && len(traj.Frames) > 0 {
+		trace.ErrorComputeNS = float64(elapsed.Nanoseconds()) / float64(len(traj.Frames))
+	}
+	return trace, nil
+}
+
+// runViaSession implements Detector.Run as a session replay: the batch path
+// is the streaming path by construction. Trajectory labels, when present,
+// are forwarded so ground-truth-context backends work out of the box.
+func runViaSession(ctx context.Context, d Detector, traj *Trajectory, timing bool) (*Trace, error) {
+	var opts []SessionOption
+	if len(traj.Gestures) == len(traj.Frames) {
+		opts = append(opts, WithSessionLabels(traj.Gestures))
+	}
+	s, err := d.NewSession(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return replayTrace(ctx, s, traj, timing)
+}
+
+// StreamVerdict is one element of a Watch channel: a verdict or a terminal
+// error (Err non-nil ends the stream).
+type StreamVerdict struct {
+	Verdict FrameVerdict
+	Err     error
+}
+
+// Watch adapts a Session to channel mode: frames received on in are pushed
+// through the session and verdicts are delivered on the returned channel,
+// which closes when in closes, the context is cancelled, or a push fails.
+// Watch takes ownership of the session and closes it on exit.
+func Watch(ctx context.Context, s Session, in <-chan *Frame) <-chan StreamVerdict {
+	out := make(chan StreamVerdict)
+	go func() {
+		defer close(out)
+		defer s.Close()
+		for {
+			select {
+			case <-ctx.Done():
+				select {
+				case out <- StreamVerdict{Err: ctx.Err()}:
+				default:
+				}
+				return
+			case f, ok := <-in:
+				if !ok {
+					return
+				}
+				v, err := s.Push(f)
+				select {
+				case <-ctx.Done():
+					return
+				case out <- StreamVerdict{Verdict: v, Err: err}:
+				}
+				if err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
