@@ -1,15 +1,16 @@
 # CI entry points for the conf_dsn_YasarA20 reproduction.
 #
-#   make ci        - gofmt check, vet, build, tests (tier-1 gate)
-#   make bench     - one-iteration benchmark smoke (perf trajectory capture)
+#   make ci        - gofmt check, vet, build, tests, -race on safemon+serve (tier-1 gate)
+#   make bench     - one-iteration benchmark smoke incl. the serve path (perf trajectory capture)
 #   make test      - tests only
+#   make race      - race-detector pass over the concurrency-bearing packages
 #   make fmt       - apply gofmt in place
 
 GO ?= go
 
-.PHONY: ci fmt fmtcheck vet build test bench
+.PHONY: ci fmt fmtcheck vet build test race bench
 
-ci: fmtcheck vet build test
+ci: fmtcheck vet build test race
 
 fmt:
 	gofmt -w .
@@ -26,6 +27,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The safemon façade and the safemond serving layer (shard mailboxes,
+# session pools, Watch) carry the concurrency; they get a dedicated
+# race-detector pass.
+race:
+	$(GO) test -race ./safemon/...
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+	"repro/safemon"
+	"repro/safemon/serve"
+)
+
+// loadgenOptions carries the loadgen-specific flags.
+type loadgenOptions struct {
+	addr     string // target safemond; empty spins an in-process server
+	backend  string
+	sessions int
+}
+
+// runLoadgen replays synthetic trajectories as concurrent NDJSON clients
+// against a safemond service. With no -addr it fits the backend locally,
+// serves it in-process, and verifies every served verdict sequence against
+// the offline Runner traces; against a remote -addr it only measures (the
+// remote model is fitted from different data, so verdicts aren't
+// comparable).
+func runLoadgen(opts experiments.Options, lg loadgenOptions) (renderer, error) {
+	ctx := context.Background()
+	numDemos, scale := 12, 0.35
+	if opts.Scale == experiments.Full {
+		numDemos, scale = 24, 0.6
+	}
+	set, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: opts.Seed,
+		NumDemos: numDemos, NumTrials: 4, Subjects: 4, DurationScale: scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fold := dataset.LOSO(synth.Trajectories(set))[0]
+
+	cfg := serve.LoadGenConfig{
+		Backend:      lg.backend,
+		Sessions:     lg.sessions,
+		Trajectories: fold.Test,
+	}
+	if lg.addr != "" {
+		cfg.Client = &serve.Client{BaseURL: "http://" + lg.addr}
+		return serve.RunLoadGen(ctx, cfg)
+	}
+
+	// In-process service: fit quickly, serve, verify against the offline
+	// Runner path.
+	detOpts := []safemon.Option{safemon.WithSeed(opts.Seed)}
+	if opts.Scale == experiments.Quick {
+		detOpts = append(detOpts, safemon.WithEpochs(2), safemon.WithTrainStride(6))
+	}
+	det, err := safemon.Open(lg.backend, detOpts...)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Verbose != nil {
+		opts.Verbose(fmt.Sprintf("fitting %s on %d demos", lg.backend, len(fold.Train)))
+	}
+	if err := det.Fit(ctx, fold.Train); err != nil {
+		return nil, err
+	}
+	refs, err := (&safemon.Runner{Detector: det, Workers: 1}).Traces(ctx, fold.Test)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Reference = refs
+
+	srv, err := serve.NewServer(serve.Config{
+		Detectors: map[string]safemon.Detector{lg.backend: det},
+		Manager:   serve.ManagerConfig{MaxSessions: lg.sessions + 8},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer func() {
+		hs.Shutdown(ctx)
+		srv.Shutdown()
+	}()
+
+	cfg.Client = &serve.Client{BaseURL: "http://" + ln.Addr().String()}
+	if opts.Verbose != nil {
+		opts.Verbose(fmt.Sprintf("serving %s at %s, driving %d sessions", lg.backend, ln.Addr(), lg.sessions))
+	}
+	return serve.RunLoadGen(ctx, cfg)
+}

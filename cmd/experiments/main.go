@@ -8,6 +8,10 @@
 //
 // Experiments: fig3, fig5, rubric, table3, table4, table5, table6, table7,
 // table8, table9, fig8, fig9, all.
+//
+// Beyond the paper, -run loadgen drives a safemond monitoring service with
+// concurrent NDJSON streaming clients (see -addr, -sessions, -backend); it
+// is excluded from "all".
 package main
 
 import (
@@ -38,6 +42,9 @@ func run(args []string) error {
 	scale := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	verbose := fs.Bool("v", false, "print progress")
+	addr := fs.String("addr", "", "loadgen: safemond host:port (empty = in-process server)")
+	sessions := fs.Int("sessions", 64, "loadgen: concurrent NDJSON sessions")
+	backend := fs.String("backend", "envelope", "loadgen: detection backend to stream against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,12 +71,18 @@ func run(args []string) error {
 		"fig8":      func() (renderer, error) { return experiments.RunFig8(opts) },
 		"fig9":      func() (renderer, error) { return experiments.RunFig9(opts) },
 		"extension": func() (renderer, error) { return experiments.RunExtension(opts) },
+		"loadgen": func() (renderer, error) {
+			return runLoadgen(opts, loadgenOptions{addr: *addr, backend: *backend, sessions: *sessions})
+		},
 	}
 
 	names := []string{*runName}
 	if *runName == "all" {
 		names = names[:0]
 		for name := range runners {
+			if name == "loadgen" { // a service drill, not a paper artifact
+				continue
+			}
 			names = append(names, name)
 		}
 		sort.Strings(names)

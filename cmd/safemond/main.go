@@ -1,0 +1,154 @@
+// Command safemond is the long-lived real-time monitoring service: it fits
+// one or more safemon backends on synthetic demonstrations at startup,
+// then serves concurrent NDJSON kinematics streams over HTTP, emitting
+// verdicts frame by frame through a sharded session manager with bounded
+// mailboxes and explicit backpressure.
+//
+// Usage:
+//
+//	safemond -addr :8080 -backends envelope,context-aware
+//	safemond -backends all -shards 8 -max-sessions 256
+//
+// Endpoints: POST /v1/stream?backend=NAME (NDJSON duplex), GET
+// /v1/backends, GET /stats, GET /healthz. See the serve package docs for
+// the wire protocol. SIGINT/SIGTERM drains in-flight streams before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+	"repro/safemon"
+	"repro/safemon/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "safemond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("safemond", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	backends := fs.String("backends", "envelope,context-aware",
+		"comma-separated backends to fit and serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
+	shards := fs.Int("shards", 0, "session-manager shards (0 = serve default)")
+	mailbox := fs.Int("mailbox", 0, "per-shard mailbox depth (0 = serve default)")
+	maxSessions := fs.Int("max-sessions", 0, "concurrent stream cap (0 = serve default)")
+	enqueueTimeout := fs.Duration("enqueue-timeout", 0, "backpressure wait on a full mailbox (0 = serve default)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	threshold := fs.Float64("threshold", 0.5, "unsafe-score alert threshold")
+	demos := fs.Int("demos", 24, "synthetic training demonstrations")
+	seed := fs.Int64("seed", 1, "deterministic seed")
+	epochs := fs.Int("epochs", 0, "training epochs override (0 = backend default)")
+	stride := fs.Int("stride", 0, "training-window stride override (0 = backend default)")
+	scale := fs.Float64("scale", 0.6, "demonstration duration scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := safemon.Backends()
+	if *backends != "all" {
+		names = strings.Split(*backends, ",")
+	}
+
+	log.Printf("generating %d suturing demonstrations (seed %d)...", *demos, *seed)
+	set, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: *seed,
+		NumDemos: *demos, NumTrials: 4, Subjects: 4, DurationScale: *scale,
+	})
+	if err != nil {
+		return err
+	}
+	folds := dataset.LOSO(synth.Trajectories(set))
+	train := folds[len(folds)-1].Train
+
+	ctx := context.Background()
+	detectors := make(map[string]safemon.Detector, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		opts := []safemon.Option{safemon.WithThreshold(*threshold), safemon.WithSeed(*seed)}
+		if *epochs > 0 {
+			opts = append(opts, safemon.WithEpochs(*epochs))
+		}
+		if *stride > 0 {
+			opts = append(opts, safemon.WithTrainStride(*stride))
+		}
+		det, err := safemon.Open(name, opts...)
+		if err != nil {
+			return err
+		}
+		log.Printf("fitting %s on %d demonstrations...", name, len(train))
+		start := time.Now()
+		if err := det.Fit(ctx, train); err != nil {
+			return fmt.Errorf("fit %s: %w", name, err)
+		}
+		log.Printf("fitted %s in %.1fs", name, time.Since(start).Seconds())
+		detectors[name] = det
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Detectors: detectors,
+		Manager: serve.ManagerConfig{
+			Shards:         *shards,
+			MailboxDepth:   *mailbox,
+			MaxSessions:    *maxSessions,
+			EnqueueTimeout: *enqueueTimeout,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	// Streams manage their own idle deadline (StreamIdleTimeout), so no
+	// global read timeout — just header and keep-alive idle bounds.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s", strings.Join(names, ", "), *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("caught %v, draining (budget %s)...", sig, *drainTimeout)
+	}
+
+	// Drain in three steps: refuse new streams (503 / draining healthz)
+	// while in-flight ones keep running, wait for them up to the budget,
+	// then stop the shard manager (terminating any stragglers).
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = hs.Shutdown(shutdownCtx)
+	srv.Shutdown()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("drained; final stats: %+v", srv.Stats())
+	return nil
+}

@@ -120,6 +120,63 @@ func TestStreamMatchesRun(t *testing.T) {
 	}
 }
 
+// TestStreamResetPoolSafety pins the pool-reuse contract serving layers
+// rely on: a stream abandoned mid-trajectory and Reset onto a different
+// trajectory must produce verdicts identical to a fresh stream's — no
+// window contents, frame counter, or stale labels may survive — across
+// many reuse cycles.
+func TestStreamResetPoolSafety(t *testing.T) {
+	lib, mono, fold := streamFixtures(t)
+	if len(fold.Test) < 2 {
+		t.Skip("need two test trajectories")
+	}
+	cases := []struct {
+		name string
+		mon  *Monitor
+	}{
+		{"perfect-boundaries", func() *Monitor {
+			m := NewMonitor(nil, lib)
+			m.UseGroundTruthGestures = true
+			return m
+		}()},
+		{"gesture-agnostic", NewMonitor(nil, mono)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pooled, err := tc.mon.NewStream(fold.Test[0].Gestures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cycle := 0; cycle < 3; cycle++ {
+				for _, traj := range fold.Test[:2] {
+					// Dirty the pooled stream with a partial replay of the
+					// other trajectory, then abandon it.
+					other := fold.Test[0]
+					if traj == fold.Test[0] {
+						other = fold.Test[1]
+					}
+					for i := 0; i < other.Len()/3; i++ {
+						pooled.Push(&other.Frames[i])
+					}
+					if err := pooled.Reset(traj.Gestures); err != nil {
+						t.Fatal(err)
+					}
+					fresh, err := tc.mon.NewStream(traj.Gestures)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range traj.Frames {
+						got, want := pooled.Push(&traj.Frames[i]), fresh.Push(&traj.Frames[i])
+						if got != want {
+							t.Fatalf("cycle %d frame %d: pooled %+v vs fresh %+v", cycle, i, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestStreamResetGuard checks that Reset re-validates the label contract.
 func TestStreamResetGuard(t *testing.T) {
 	lib, _, fold := streamFixtures(t)

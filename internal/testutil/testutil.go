@@ -1,0 +1,31 @@
+// Package testutil holds small helpers shared across the repository's
+// test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitGoroutines polls until the goroutine count drops back to within
+// slack of the baseline, failing the test on timeout — the leak check the
+// concurrency and cancellation paths are held to.
+func WaitGoroutines(t testing.TB, baseline, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > baseline %d + slack %d\n%s", n, baseline, slack, buf)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

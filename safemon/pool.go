@@ -1,0 +1,88 @@
+package safemon
+
+import "sync"
+
+// SessionPool keeps a bounded free list of sessions for one fitted detector
+// so that short-lived streams (one network connection, one trajectory) can
+// reuse a warm session instead of paying NewSession on every open. Get
+// always returns a session rewound to frame zero — either a pooled one
+// after Reset or a freshly created one — so pooled reuse is
+// indistinguishable from a fresh session (the Reset contract every backend
+// is tested against). The pool is safe for concurrent use.
+type SessionPool struct {
+	det     Detector
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   []Session
+	closed bool
+}
+
+// NewSessionPool builds a pool over a fitted detector. maxIdle caps the
+// free list; <= 0 selects a default of 16.
+func NewSessionPool(det Detector, maxIdle int) *SessionPool {
+	if maxIdle <= 0 {
+		maxIdle = 16
+	}
+	return &SessionPool{det: det, maxIdle: maxIdle}
+}
+
+// Get returns a session rewound to frame zero with the given ground-truth
+// labels (nil when the backend infers its own context). A pooled session
+// that fails to Reset is discarded rather than handed out.
+func (p *SessionPool) Get(groundTruth []int) (Session, error) {
+	p.mu.Lock()
+	var s Session
+	if n := len(p.idle); n > 0 {
+		s = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if s != nil {
+		if err := s.Reset(groundTruth); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	var opts []SessionOption
+	if groundTruth != nil {
+		opts = append(opts, WithSessionLabels(groundTruth))
+	}
+	return p.det.NewSession(opts...)
+}
+
+// Put returns a session to the free list, closing it instead when the list
+// is full or the pool is closed. Sessions whose last Push returned an error
+// should be closed by the caller, not returned.
+func (p *SessionPool) Put(s Session) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, s)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	s.Close()
+}
+
+// Close drains and closes every idle session; subsequent Puts close their
+// sessions immediately. Get remains usable (it falls back to NewSession).
+func (p *SessionPool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	var firstErr error
+	for _, s := range idle {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

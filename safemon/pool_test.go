@@ -1,0 +1,160 @@
+package safemon
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSessionPoolWarmReuse pins the pool contract: a pooled (warm) session
+// must be indistinguishable from a fresh one — same verdicts, correct
+// label rebinding across different trajectories.
+func TestSessionPoolWarmReuse(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "context-aware")
+	pool := NewSessionPool(det, 4)
+	defer pool.Close()
+	ctx := context.Background()
+
+	for pass := 0; pass < 2; pass++ { // second pass rides pooled sessions
+		for _, traj := range fold.Test {
+			ref, err := det.Run(ctx, traj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess, err := pool.Get(traj.Gestures)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range traj.Frames {
+				v, err := sess.Push(&traj.Frames[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(v, ref.Verdicts[i]) {
+					t.Fatalf("pass %d frame %d: pooled session %+v vs run %+v", pass, i, v, ref.Verdicts[i])
+				}
+			}
+			pool.Put(sess)
+		}
+	}
+}
+
+// TestSessionPoolMidStreamReuse guards the harder pool scenario: a session
+// abandoned mid-trajectory and returned to the pool must still replay the
+// next trajectory exactly (stale window state may not leak).
+func TestSessionPoolMidStreamReuse(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "context-aware")
+	pool := NewSessionPool(det, 2)
+	defer pool.Close()
+	ctx := context.Background()
+
+	trajA, trajB := fold.Test[0], fold.Test[len(fold.Test)-1]
+	sess, err := pool.Get(trajA.Gestures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trajA.Len()/3; i++ { // abandon a third of the way in
+		if _, err := sess.Push(&trajA.Frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Put(sess)
+
+	ref, err := det.Run(ctx, trajB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err = pool.Get(trajB.Gestures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(sess)
+	for i := range trajB.Frames {
+		v, err := sess.Push(&trajB.Frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != ref.Verdicts[i] {
+			t.Fatalf("frame %d: reused session %+v vs fresh run %+v", i, v, ref.Verdicts[i])
+		}
+	}
+}
+
+// TestSessionPoolBounds checks the free-list cap and Close behavior.
+func TestSessionPoolBounds(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	pool := NewSessionPool(det, 2)
+	var sessions []Session
+	for i := 0; i < 4; i++ {
+		s, err := pool.Get(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	for _, s := range sessions {
+		pool.Put(s)
+	}
+	pool.mu.Lock()
+	idle := len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 2 {
+		t.Errorf("idle sessions = %d, want the cap of 2", idle)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pool.mu.Lock()
+	idle = len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 0 {
+		t.Errorf("idle sessions after Close = %d", idle)
+	}
+	// Get still works after Close (falls back to NewSession).
+	s, err := pool.Get(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(s) // closed pool must not retain it
+	pool.mu.Lock()
+	idle = len(pool.idle)
+	pool.mu.Unlock()
+	if idle != 0 {
+		t.Errorf("closed pool retained a session")
+	}
+}
+
+// TestSessionPoolConcurrent hammers Get/Put from many goroutines (-race).
+func TestSessionPoolConcurrent(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "envelope")
+	pool := NewSessionPool(det, 4)
+	defer pool.Close()
+	traj := fold.Test[0]
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				sess, err := pool.Get(traj.Gestures)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 0; i < 20 && i < traj.Len(); i++ {
+					if _, err := sess.Push(&traj.Frames[i]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				pool.Put(sess)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -23,8 +23,27 @@ type Runner struct {
 	Workers int
 }
 
+// TrajectoryError is the error type Traces and Run return when scoring a
+// trajectory fails: it carries the index of the offending trajectory so
+// batch callers can retry, skip, or report it without parsing the message.
+// Use errors.As to recover it from a wrapped chain.
+type TrajectoryError struct {
+	// Index is the position of the failing trajectory in the input slice.
+	Index int
+	// Err is the underlying session or push error.
+	Err error
+}
+
+func (e *TrajectoryError) Error() string {
+	return fmt.Sprintf("safemon: trajectory %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *TrajectoryError) Unwrap() error { return e.Err }
+
 // Traces scores every trajectory, returning traces index-aligned with the
-// input. The first error cancels the remaining work.
+// input. The first worker error cancels the remaining work and is returned
+// as a *TrajectoryError identifying the trajectory that caused it.
 func (r *Runner) Traces(ctx context.Context, trajs []*Trajectory) ([]*Trace, error) {
 	if r.Detector == nil {
 		return nil, fmt.Errorf("safemon: Runner has no detector")
@@ -77,12 +96,12 @@ func (r *Runner) Traces(ctx context.Context, trajs []*Trajectory) ([]*Trace, err
 					err = sess.Reset(gt)
 				}
 				if err != nil {
-					fail(fmt.Errorf("safemon: trajectory %d: %w", idx, err))
+					fail(&TrajectoryError{Index: idx, Err: err})
 					return
 				}
 				trace, err := replayTrace(ctx, sess, traj, timing)
 				if err != nil {
-					fail(fmt.Errorf("safemon: trajectory %d: %w", idx, err))
+					fail(&TrajectoryError{Index: idx, Err: err})
 					return
 				}
 				traces[idx] = trace
@@ -115,7 +134,7 @@ func (r *Runner) sequentialTraces(ctx context.Context, trajs []*Trajectory) ([]*
 	for i, traj := range trajs {
 		trace, err := r.Detector.Run(ctx, traj)
 		if err != nil {
-			return nil, fmt.Errorf("safemon: trajectory %d: %w", i, err)
+			return nil, &TrajectoryError{Index: i, Err: err}
 		}
 		traces[i] = trace
 	}

@@ -3,6 +3,8 @@ package safemon
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -78,6 +80,81 @@ func TestRunnerCancellation(t *testing.T) {
 	cancel()
 	if _, err := (&Runner{Detector: det, Workers: 2}).Run(ctx, fold.Test, nil); err == nil {
 		t.Fatal("cancelled runner should fail")
+	}
+}
+
+// poisonErr is the sentinel a poisonDetector session fails with.
+var poisonErr = errors.New("poisoned frame")
+
+// poisonDetector fails any push whose frame's first feature matches the
+// poison marker, letting tests fail exactly one trajectory of a batch.
+type poisonDetector struct{ marker float64 }
+
+func (d *poisonDetector) Info() Info                               { return Info{Name: "poison", Threshold: 0.5} }
+func (d *poisonDetector) Fit(context.Context, []*Trajectory) error { return nil }
+func (d *poisonDetector) NewSession(...SessionOption) (Session, error) {
+	return &poisonSession{marker: d.marker}, nil
+}
+
+func (d *poisonDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, error) {
+	return runViaSession(ctx, d, traj, false)
+}
+
+type poisonSession struct {
+	marker float64
+	idx    int
+}
+
+func (s *poisonSession) Push(f *Frame) (FrameVerdict, error) {
+	if f[0] == s.marker {
+		return FrameVerdict{}, poisonErr
+	}
+	v := FrameVerdict{FrameIndex: s.idx}
+	s.idx++
+	return v, nil
+}
+
+func (s *poisonSession) Reset([]int) error { s.idx = 0; return nil }
+func (s *poisonSession) Close() error      { return nil }
+
+// TestRunnerTrajectoryError pins the error contract of Traces/Run: the
+// first worker failure must surface as a *TrajectoryError carrying the
+// index of the offending trajectory (recoverable via errors.As), with the
+// root cause reachable through errors.Is — on both the sequential and the
+// concurrent path.
+func TestRunnerTrajectoryError(t *testing.T) {
+	const failIdx = 3
+	trajs := make([]*Trajectory, 6)
+	for i := range trajs {
+		tr := &Trajectory{HzRate: 30}
+		for j := 0; j < 50; j++ {
+			var f Frame
+			if i == failIdx {
+				f[0] = 1 // poison marker
+			}
+			tr.Frames = append(tr.Frames, f)
+		}
+		trajs[i] = tr
+	}
+	det := &poisonDetector{marker: 1}
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, err := (&Runner{Detector: det, Workers: workers}).Traces(context.Background(), trajs)
+			if err == nil {
+				t.Fatal("poisoned batch should fail")
+			}
+			var te *TrajectoryError
+			if !errors.As(err, &te) {
+				t.Fatalf("error %v (%T) is not a *TrajectoryError", err, err)
+			}
+			if te.Index != failIdx {
+				t.Errorf("TrajectoryError.Index = %d, want %d", te.Index, failIdx)
+			}
+			if !errors.Is(err, poisonErr) {
+				t.Errorf("root cause not reachable through %v", err)
+			}
+		})
 	}
 }
 

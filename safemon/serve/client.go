@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/safemon"
+)
+
+// Client is a minimal safemond NDJSON client, used by the loadgen, the
+// golden tests and cmd/experiments. Streams are full duplex: the request
+// body is fed through a pipe while verdicts are read off the response.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient (httptest servers pass
+	// their own).
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Backends fetches the server's served backend names.
+func (c *Client) Backends(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/backends", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Backends []string `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Backends, nil
+}
+
+// Stats fetches the server's /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stream is one open NDJSON session. Use Send/Recv in lockstep (one
+// verdict per frame) from a single goroutine, then Close.
+type Stream struct {
+	body io.WriteCloser // request-body pipe
+	resp *http.Response
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Open starts a stream against the named backend. groundTruth, when
+// non-nil, is sent as the stream's labels header. A non-200 admission
+// answer (429 at the session cap, 503 draining) is returned as *ErrorMsg.
+func (c *Client) Open(ctx context.Context, backend string, groundTruth []int) (*Stream, error) {
+	pr, pw := io.Pipe()
+	target := c.BaseURL + "/v1/stream"
+	if backend != "" {
+		target += "?backend=" + url.QueryEscape(backend)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		pw.Close()
+		return nil, &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	st := &Stream{
+		body: pw,
+		resp: resp,
+		enc:  json.NewEncoder(pw),
+		dec:  json.NewDecoder(bufio.NewReader(resp.Body)),
+	}
+	if groundTruth != nil {
+		if err := st.enc.Encode(ClientMsg{Labels: groundTruth}); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Send writes one frame record.
+func (s *Stream) Send(frame *safemon.Frame) error {
+	return s.enc.Encode(ClientMsg{Frame: frame[:]})
+}
+
+// Recv reads the next verdict. Terminal records surface as errors: io.EOF
+// for a done record, *ErrorMsg for a server error.
+func (s *Stream) Recv() (safemon.FrameVerdict, error) {
+	var msg ServerMsg
+	if err := s.dec.Decode(&msg); err != nil {
+		return safemon.FrameVerdict{}, err
+	}
+	switch {
+	case msg.Verdict != nil:
+		return msg.Verdict.Verdict(), nil
+	case msg.Error != nil:
+		return safemon.FrameVerdict{}, msg.Error
+	case msg.Done != nil:
+		return safemon.FrameVerdict{}, io.EOF
+	default:
+		return safemon.FrameVerdict{}, fmt.Errorf("serve: empty server record")
+	}
+}
+
+// CloseSend ends the request side so the server can emit its done record;
+// Recv keeps working.
+func (s *Stream) CloseSend() error { return s.body.Close() }
+
+// Close tears the stream down.
+func (s *Stream) Close() error {
+	s.body.Close()
+	return s.resp.Body.Close()
+}
+
+// StreamTrajectory replays one trajectory through a fresh stream and
+// returns the full verdict sequence. Trajectory gesture labels, when
+// fully present, are forwarded — mirroring what Detector.Run does — so the
+// served verdicts are comparable to the offline path for every backend.
+func (c *Client) StreamTrajectory(ctx context.Context, backend string, traj *safemon.Trajectory) ([]safemon.FrameVerdict, error) {
+	var labels []int
+	if len(traj.Gestures) == len(traj.Frames) {
+		labels = traj.Gestures
+	}
+	st, err := c.Open(ctx, backend, labels)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	verdicts := make([]safemon.FrameVerdict, 0, len(traj.Frames))
+	for i := range traj.Frames {
+		if err := st.Send(&traj.Frames[i]); err != nil {
+			return nil, fmt.Errorf("serve: send frame %d: %w", i, err)
+		}
+		v, err := st.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("serve: frame %d: %w", i, err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	if err := st.CloseSend(); err != nil {
+		return nil, err
+	}
+	if _, err := st.Recv(); err != io.EOF {
+		return verdicts, fmt.Errorf("serve: expected done record, got %v", err)
+	}
+	return verdicts, nil
+}

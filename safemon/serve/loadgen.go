@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/safemon"
+)
+
+// LoadGenConfig drives RunLoadGen: Sessions concurrent NDJSON clients
+// replaying Trajectories (round-robin) against a safemond service.
+type LoadGenConfig struct {
+	// Client reaches the service under test.
+	Client *Client
+	// Backend is the backend every session requests.
+	Backend string
+	// Sessions is the number of concurrent client streams.
+	Sessions int
+	// Trajectories are replayed round-robin across sessions.
+	Trajectories []*safemon.Trajectory
+	// Reference, when non-nil, holds offline traces index-aligned with
+	// Trajectories; each served verdict sequence is checked against its
+	// trajectory's reference and mismatches are counted.
+	Reference []*safemon.Trace
+}
+
+// LoadGenReport summarizes one loadgen run.
+type LoadGenReport struct {
+	Sessions      int
+	Frames        int
+	Failed        int // sessions that ended in error
+	Mismatches    int // sessions whose verdicts diverged from the reference
+	Elapsed       time.Duration
+	ThroughputFPS float64
+	// Stats is the server's /stats snapshot taken after the run (nil if
+	// unreachable).
+	Stats *StatsSnapshot
+	// Errors holds the first few session errors.
+	Errors []string
+}
+
+// Render formats the report for cmd/experiments.
+func (r *LoadGenReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d concurrent sessions, %d frames in %.2fs (%.0f frames/s), %d failed, %d mismatched\n",
+		r.Sessions, r.Frames, r.Elapsed.Seconds(), r.ThroughputFPS, r.Failed, r.Mismatches)
+	if r.Stats != nil {
+		fmt.Fprintf(&b, "server: %d shards, p50 %.3f ms, p99 %.3f ms, %d queue-full, %d sessions served\n",
+			r.Stats.Shards, r.Stats.P50LatencyMS, r.Stats.P99LatencyMS, r.Stats.QueueFull, r.Stats.SessionsOpened)
+		for _, sh := range r.Stats.PerShard {
+			fmt.Fprintf(&b, "  shard %d: %d frames, %.0f frames/s, p50 %.3f ms, p99 %.3f ms\n",
+				sh.Shard, sh.Frames, sh.ThroughputFPS, sh.P50LatencyMS, sh.P99LatencyMS)
+		}
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	return b.String()
+}
+
+// RunLoadGen opens cfg.Sessions concurrent streams and replays one
+// trajectory through each (trajectory i%len for session i), verifying
+// against the reference traces when supplied. The error return is reserved
+// for configuration problems; per-session failures are counted in the
+// report.
+func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) {
+	if cfg.Client == nil || cfg.Sessions <= 0 || len(cfg.Trajectories) == 0 {
+		return nil, fmt.Errorf("serve: loadgen needs a client, sessions > 0 and trajectories")
+	}
+	if cfg.Reference != nil && len(cfg.Reference) != len(cfg.Trajectories) {
+		return nil, fmt.Errorf("serve: %d reference traces for %d trajectories", len(cfg.Reference), len(cfg.Trajectories))
+	}
+
+	type result struct {
+		frames   int
+		err      error
+		mismatch bool
+	}
+	results := make([]result, cfg.Sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traj := cfg.Trajectories[i%len(cfg.Trajectories)]
+			verdicts, err := cfg.Client.StreamTrajectory(ctx, cfg.Backend, traj)
+			results[i] = result{frames: len(verdicts), err: err}
+			if err != nil || cfg.Reference == nil {
+				return
+			}
+			ref := cfg.Reference[i%len(cfg.Trajectories)].Verdicts
+			if len(verdicts) != len(ref) {
+				results[i].mismatch = true
+				return
+			}
+			for j := range verdicts {
+				if verdicts[j] != ref[j] {
+					results[i].mismatch = true
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &LoadGenReport{Sessions: cfg.Sessions, Elapsed: time.Since(start)}
+	for _, r := range results {
+		rep.Frames += r.frames
+		if r.err != nil {
+			rep.Failed++
+			if len(rep.Errors) < 5 {
+				rep.Errors = append(rep.Errors, r.err.Error())
+			}
+		}
+		if r.mismatch {
+			rep.Mismatches++
+		}
+	}
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.ThroughputFPS = float64(rep.Frames) / s
+	}
+	if snap, err := cfg.Client.Stats(ctx); err == nil {
+		rep.Stats = snap
+	}
+	return rep, nil
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/safemon"
+)
+
+// TestLoadGen64Sessions is the acceptance check for the serving layer:
+// safemond must sustain 64 concurrent NDJSON sessions with every served
+// verdict sequence byte-identical to the offline Runner path, and then
+// drain cleanly (the whole package runs under -race in make ci).
+func TestLoadGen64Sessions(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "envelope")
+	ctx := context.Background()
+
+	refs, err := (&safemon.Runner{Detector: det, Workers: 1}).Traces(ctx, fold.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestService(t, map[string]safemon.Detector{"envelope": det},
+		ManagerConfig{Shards: 4, MaxSessions: 128})
+
+	rep, err := RunLoadGen(ctx, LoadGenConfig{
+		Client:       client,
+		Backend:      "envelope",
+		Sessions:     64,
+		Trajectories: fold.Test,
+		Reference:    refs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d/%d sessions failed: %v", rep.Failed, rep.Sessions, rep.Errors)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d sessions diverged from the offline Runner", rep.Mismatches)
+	}
+	var want int
+	for i := 0; i < rep.Sessions; i++ {
+		want += fold.Test[i%len(fold.Test)].Len()
+	}
+	if rep.Frames != want {
+		t.Errorf("served %d frames, want %d", rep.Frames, want)
+	}
+	if rep.Stats == nil || rep.Stats.SessionsOpened < 64 {
+		t.Errorf("stats after loadgen: %+v", rep.Stats)
+	}
+
+	// Shutdown drains cleanly with nothing in flight.
+	srv.Shutdown()
+	if snap := srv.Stats(); snap.SessionsActive != 0 {
+		t.Errorf("active sessions after drain: %d", snap.SessionsActive)
+	}
+}

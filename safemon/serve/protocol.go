@@ -1,0 +1,98 @@
+// Package serve turns the safemon façade into a long-lived real-time
+// monitoring service: an HTTP server that accepts many concurrent NDJSON
+// kinematics streams, routes each one through a sharded session manager
+// (one owning goroutine per shard, bounded mailboxes), and emits verdicts
+// frame by frame with bounded latency. Backends are selected per request
+// from the safemon registry names the server was configured with; sessions
+// come from warm safemon.SessionPools; shutdown drains in-flight streams;
+// overload answers with explicit backpressure (HTTP 429 at admission,
+// queue-full records mid-stream) instead of unbounded buffering.
+//
+// Wire protocol (POST /v1/stream?backend=NAME, one JSON object per line):
+//
+//	→ {"labels":[1,2,2,...]}   optional first record: ground-truth gestures
+//	→ {"frame":[38 floats]}    one kinematics frame
+//	← {"verdict":{"i":0,"g":2,"score":0.13,"unsafe":false}}
+//	← {"done":{"frames":812}}  stream end (client closed its side)
+//	← {"error":{"code":429,"message":"queue full"}}  terminal error
+package serve
+
+import (
+	"fmt"
+
+	"repro/safemon"
+)
+
+// frameSize is the wire length of one kinematics frame.
+const frameSize = len(safemon.Frame{})
+
+// ClientMsg is one request NDJSON record: either a labels header (first
+// record only) or a frame.
+type ClientMsg struct {
+	// Labels supplies per-frame ground-truth gesture labels for the whole
+	// stream; only meaningful in the first record.
+	Labels []int `json:"labels,omitempty"`
+	// Frame is one 38-variable kinematics sample.
+	Frame []float64 `json:"frame,omitempty"`
+}
+
+// VerdictMsg is the wire form of one safemon.FrameVerdict. Field order and
+// names are part of the golden contract: the offline Runner path marshaled
+// through this type must be byte-identical to the served stream.
+type VerdictMsg struct {
+	I      int     `json:"i"`
+	G      int     `json:"g"`
+	Score  float64 `json:"score"`
+	Unsafe bool    `json:"unsafe"`
+}
+
+// WireVerdict converts a FrameVerdict to its wire form.
+func WireVerdict(v safemon.FrameVerdict) VerdictMsg {
+	return VerdictMsg{I: v.FrameIndex, G: v.Gesture, Score: v.Score, Unsafe: v.Unsafe}
+}
+
+// Verdict converts the wire form back to a FrameVerdict.
+func (m VerdictMsg) Verdict() safemon.FrameVerdict {
+	return safemon.FrameVerdict{FrameIndex: m.I, Gesture: m.G, Score: m.Score, Unsafe: m.Unsafe}
+}
+
+// DoneMsg terminates a healthy stream.
+type DoneMsg struct {
+	// Frames is the number of verdicts emitted.
+	Frames int `json:"frames"`
+}
+
+// ErrorMsg terminates a failed stream.
+type ErrorMsg struct {
+	// Code follows HTTP semantics (429 = backpressure, 400 = bad record,
+	// 503 = draining).
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so client code can surface server
+// records directly.
+func (e *ErrorMsg) Error() string {
+	return fmt.Sprintf("safemond: %s (code %d)", e.Message, e.Code)
+}
+
+// ServerMsg is one response NDJSON record; exactly one field is set.
+type ServerMsg struct {
+	Verdict *VerdictMsg `json:"verdict,omitempty"`
+	Done    *DoneMsg    `json:"done,omitempty"`
+	Error   *ErrorMsg   `json:"error,omitempty"`
+}
+
+// TraceFromVerdicts rebuilds an offline-shaped trace from streamed
+// verdicts, with Alerts derived exactly as the session replay derives them
+// (one alert per unsafe verdict). It lets served streams feed the same
+// EvaluateTraces aggregation as the batch Runner.
+func TraceFromVerdicts(verdicts []safemon.FrameVerdict) *safemon.Trace {
+	trace := &safemon.Trace{Verdicts: verdicts}
+	for _, v := range verdicts {
+		if v.Unsafe {
+			trace.Alerts = append(trace.Alerts, safemon.Alert{FrameIndex: v.FrameIndex, Gesture: v.Gesture, Score: v.Score})
+		}
+	}
+	return trace
+}

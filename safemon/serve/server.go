@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/safemon"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Detectors maps backend names (as clients request them) to fitted
+	// detectors. Build them without WithTiming so served verdicts stay
+	// byte-identical to the offline Runner path.
+	Detectors map[string]safemon.Detector
+	// Manager tunes sharding, mailbox depth, session caps and
+	// backpressure.
+	Manager ManagerConfig
+	// DefaultBackend is used when a stream request names none; empty
+	// defaults to the only detector when exactly one is configured.
+	DefaultBackend string
+	// StreamIdleTimeout bounds the wait for each request record: a client
+	// that goes silent past it loses its stream (and session slot) instead
+	// of pinning them forever. <= 0 means 2 minutes; generous next to the
+	// 30 Hz kinematics rate the monitor is built for.
+	StreamIdleTimeout time.Duration
+	// Logf receives service log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the safemond HTTP service. Mount Handler on any http.Server
+// (or httptest); call Shutdown to drain.
+//
+// Endpoints:
+//
+//	POST /v1/stream?backend=NAME  NDJSON duplex frame/verdict stream
+//	GET  /v1/backends             served backend names
+//	GET  /stats                   per-shard throughput + latency quantiles
+//	GET  /healthz                 ok / draining
+type Server struct {
+	cfg      Config
+	manager  *Manager
+	mux      *http.ServeMux
+	backends []string
+	start    time.Time
+
+	mu       sync.RWMutex
+	draining bool
+}
+
+// NewServer builds the service over fitted detectors and starts its shards.
+func NewServer(cfg Config) (*Server, error) {
+	manager, err := NewManager(cfg.Detectors, cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+	backends := make([]string, 0, len(cfg.Detectors))
+	for name := range cfg.Detectors {
+		backends = append(backends, name)
+	}
+	sort.Strings(backends)
+	if cfg.DefaultBackend == "" && len(backends) == 1 {
+		cfg.DefaultBackend = backends[0]
+	}
+	if cfg.StreamIdleTimeout <= 0 {
+		cfg.StreamIdleTimeout = 2 * time.Minute
+	}
+	s := &Server{cfg: cfg, manager: manager, backends: backends, start: time.Now()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/backends", s.handleBackends)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns the current service counters (the /stats payload).
+func (s *Server) Stats() StatsSnapshot {
+	return s.manager.snapshot(s.backends, time.Since(s.start))
+}
+
+// BeginDrain flips the service into draining mode without touching
+// in-flight streams: new stream requests are refused with 503 and
+// /healthz reports draining, while already-attached sessions keep pushing
+// frames. The graceful shutdown sequence is BeginDrain, then
+// http.Server.Shutdown (which waits for the stream handlers up to the
+// drain budget), then Shutdown to stop the shard manager.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Shutdown completes the drain: after BeginDrain (called implicitly) the
+// shard manager waits for in-flight pushes and stops. Any stream still
+// attached — e.g. when the http.Server.Shutdown budget expired first —
+// fails its next push with ErrDraining and terminates.
+func (s *Server) Shutdown() {
+	s.BeginDrain()
+	s.manager.Close()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"backends": s.backends})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStream is the NDJSON duplex endpoint. Admission errors (unknown
+// backend, draining, session cap) are HTTP statuses; once the stream is
+// admitted, errors become terminal NDJSON records so the verdict prefix
+// already delivered stays valid.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Stream connections are one-shot: telling the client (and our own
+	// http.Server) the connection won't be reused keeps error responses
+	// immediate — otherwise the server blocks draining the open-ended
+	// request body before it will answer at all.
+	w.Header().Set("Connection", "close")
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	backend := r.URL.Query().Get("backend")
+	if backend == "" {
+		backend = s.cfg.DefaultBackend
+	}
+	if _, ok := s.cfg.Detectors[backend]; !ok {
+		http.Error(w, fmt.Sprintf("unknown backend %q (have %v)", backend, s.backends), http.StatusNotFound)
+		return
+	}
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Claim a session slot before committing the response status: at the
+	// session cap the client gets a real HTTP 429, not a broken stream.
+	if err := s.manager.Reserve(); err != nil {
+		status := http.StatusTooManyRequests
+		if errors.Is(err, ErrDraining) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	reserved := true
+	defer func() {
+		if reserved {
+			s.manager.Unreserve()
+		}
+	}()
+
+	// HTTP/1.1 interleaves request-body reads with response writes only
+	// when full duplex is enabled; HTTP/2 duplexes natively.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor < 2 {
+		http.Error(w, "streaming unsupported", http.StatusHTTPVersionNotSupported)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+
+	out := json.NewEncoder(w)
+	emit := func(msg ServerMsg) {
+		if err := out.Encode(msg); err != nil {
+			return
+		}
+		rc.Flush()
+	}
+
+	// NDJSON records are read line by line with a hard per-record size
+	// cap: the stream as a whole is unbounded, but no single record may
+	// buffer without bound (the same no-unbounded-buffering contract the
+	// shard mailboxes enforce). The idle deadline is re-armed before each
+	// record so a silent client cannot pin its session slot forever.
+	dec := newRecordReader(r.Body)
+	armIdle := func() { rc.SetReadDeadline(time.Now().Add(s.cfg.StreamIdleTimeout)) }
+
+	// The first record may carry the stream's ground-truth labels.
+	var labels []int
+	var pending *ClientMsg
+	var first ClientMsg
+	armIdle()
+	switch err := dec.next(&first); {
+	case errors.Is(err, io.EOF):
+		emit(ServerMsg{Done: &DoneMsg{}})
+		return
+	case err != nil:
+		emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()}})
+		return
+	case first.Labels != nil && first.Frame != nil:
+		emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest,
+			Message: "labels and frame in one record; send the labels header on its own line"}})
+		return
+	case first.Frame == nil:
+		labels = first.Labels
+	default:
+		pending = &first
+	}
+
+	sess, err := s.manager.Open(backend, labels)
+	if err != nil {
+		emit(ServerMsg{Error: openError(err)})
+		return
+	}
+	reserved = false // the session owns the slot now
+	healthy := true
+	defer func() { sess.Release(healthy) }()
+
+	frames := 0
+	for {
+		var msg *ClientMsg
+		if pending != nil {
+			msg, pending = pending, nil
+		} else {
+			var rec ClientMsg
+			armIdle()
+			switch err := dec.next(&rec); {
+			case errors.Is(err, io.EOF):
+				emit(ServerMsg{Done: &DoneMsg{Frames: frames}})
+				return
+			case err != nil:
+				// Client hung up mid-record or sent garbage; either
+				// way the stream is over.
+				healthy = frames > 0 && errors.Is(err, io.ErrUnexpectedEOF)
+				emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()}})
+				return
+			}
+			msg = &rec
+		}
+		if len(msg.Frame) != frameSize {
+			healthy = false
+			emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest,
+				Message: fmt.Sprintf("frame needs %d values, got %d", frameSize, len(msg.Frame))}})
+			return
+		}
+		var frame safemon.Frame
+		copy(frame[:], msg.Frame)
+		v, err := sess.Push(r.Context(), &frame)
+		if err != nil {
+			healthy = false
+			emit(ServerMsg{Error: pushError(err)})
+			return
+		}
+		frames++
+		wire := WireVerdict(v)
+		emit(ServerMsg{Verdict: &wire})
+	}
+}
+
+// maxRecordBytes caps one NDJSON request record: generous for a labels
+// header of a very long trajectory (~7 bytes per label) and two orders of
+// magnitude above a frame record, but it stops a single line from
+// buffering the server into the ground.
+const maxRecordBytes = 1 << 20
+
+// errRecordTooLarge reports a request line over the per-record cap.
+var errRecordTooLarge = fmt.Errorf("serve: record exceeds %d bytes", maxRecordBytes)
+
+// recordReader decodes NDJSON records line by line under maxRecordBytes.
+type recordReader struct {
+	scan *bufio.Scanner
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	return &recordReader{scan: scan}
+}
+
+// next decodes the next non-empty line into msg; io.EOF at clean stream
+// end, the underlying read error otherwise.
+func (d *recordReader) next(msg *ClientMsg) error {
+	for d.scan.Scan() {
+		line := bytes.TrimSpace(d.scan.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		*msg = ClientMsg{}
+		return json.Unmarshal(line, msg)
+	}
+	if err := d.scan.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return errRecordTooLarge
+		}
+		return err
+	}
+	return io.EOF
+}
+
+// openError maps session-admission failures onto wire records.
+func openError(err error) *ErrorMsg {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return &ErrorMsg{Code: http.StatusTooManyRequests, Message: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return &ErrorMsg{Code: http.StatusServiceUnavailable, Message: err.Error()}
+	case errors.Is(err, ErrUnknownBackend):
+		return &ErrorMsg{Code: http.StatusNotFound, Message: err.Error()}
+	default:
+		return &ErrorMsg{Code: http.StatusBadRequest, Message: err.Error()}
+	}
+}
+
+// pushError maps mid-stream push failures onto wire records.
+func pushError(err error) *ErrorMsg {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return &ErrorMsg{Code: http.StatusTooManyRequests, Message: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return &ErrorMsg{Code: http.StatusServiceUnavailable, Message: err.Error()}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return &ErrorMsg{Code: 499, Message: err.Error()}
+	default:
+		return &ErrorMsg{Code: http.StatusInternalServerError, Message: err.Error()}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts latencies in [2^i, 2^(i+1)) nanoseconds, covering sub-microsecond
+// pushes up to multi-second stalls.
+const histBuckets = 36
+
+// latencyHist is a lock-free log2 histogram of per-frame latencies. The
+// shard goroutine observes; /stats readers snapshot concurrently.
+type latencyHist struct {
+	counts [histBuckets]atomic.Uint64
+}
+
+// observe records one latency sample.
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	i := bits.Len64(uint64(ns)) - 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i].Add(1)
+}
+
+// load snapshots the bucket counts.
+func (h *latencyHist) load() [histBuckets]uint64 {
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}
+
+// quantileOf returns the q-th (0..1) latency quantile of a bucket-count
+// snapshot in milliseconds, resolved to the upper bound of the containing
+// bucket; NaN when empty.
+func quantileOf(counts [histBuckets]uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			upperNS := float64(uint64(1) << (i + 1))
+			return upperNS / 1e6
+		}
+	}
+	return math.NaN()
+}
+
+// shardStats aggregates one shard's counters. All fields are atomics: the
+// shard goroutine and stream handlers write, /stats reads.
+type shardStats struct {
+	frames         atomic.Uint64 // frames pushed through sessions
+	sessionsOpened atomic.Uint64 // streams admitted to this shard
+	sessionsActive atomic.Int64  // streams currently attached
+	queueFull      atomic.Uint64 // submits rejected by backpressure
+	latency        latencyHist   // submit-to-verdict latency (queue + push)
+}
+
+// ShardSnapshot is one shard's row in the /stats report.
+type ShardSnapshot struct {
+	Shard          int     `json:"shard"`
+	Frames         uint64  `json:"frames"`
+	SessionsOpened uint64  `json:"sessions_opened"`
+	SessionsActive int64   `json:"sessions_active"`
+	QueueFull      uint64  `json:"queue_full"`
+	ThroughputFPS  float64 `json:"throughput_fps"`
+	P50LatencyMS   float64 `json:"p50_latency_ms"`
+	P99LatencyMS   float64 `json:"p99_latency_ms"`
+}
+
+// StatsSnapshot is the /stats payload: aggregate service counters plus the
+// per-shard breakdown.
+type StatsSnapshot struct {
+	UptimeSeconds  float64         `json:"uptime_seconds"`
+	Backends       []string        `json:"backends"`
+	Shards         int             `json:"shards"`
+	Frames         uint64          `json:"frames"`
+	SessionsOpened uint64          `json:"sessions_opened"`
+	SessionsActive int64           `json:"sessions_active"`
+	QueueFull      uint64          `json:"queue_full"`
+	ThroughputFPS  float64         `json:"throughput_fps"`
+	P50LatencyMS   float64         `json:"p50_latency_ms"`
+	P99LatencyMS   float64         `json:"p99_latency_ms"`
+	PerShard       []ShardSnapshot `json:"per_shard"`
+}
+
+// snapshot renders the manager's counters. Quantile fields are NaN-free
+// (-1 when no frames have been observed) so the payload stays valid JSON.
+func (m *Manager) snapshot(backends []string, uptime time.Duration) StatsSnapshot {
+	secs := uptime.Seconds()
+	snap := StatsSnapshot{
+		UptimeSeconds: secs,
+		Backends:      backends,
+		Shards:        len(m.shards),
+	}
+	var merged [histBuckets]uint64
+	for i := range m.shards {
+		st := &m.shards[i].stats
+		frames := st.frames.Load()
+		counts := st.latency.load()
+		row := ShardSnapshot{
+			Shard:          i,
+			Frames:         frames,
+			SessionsOpened: st.sessionsOpened.Load(),
+			SessionsActive: st.sessionsActive.Load(),
+			QueueFull:      st.queueFull.Load(),
+			P50LatencyMS:   jsonQuantile(counts, 0.50),
+			P99LatencyMS:   jsonQuantile(counts, 0.99),
+		}
+		if secs > 0 {
+			row.ThroughputFPS = float64(frames) / secs
+		}
+		snap.PerShard = append(snap.PerShard, row)
+		snap.Frames += frames
+		snap.SessionsOpened += row.SessionsOpened
+		snap.SessionsActive += row.SessionsActive
+		snap.QueueFull += row.QueueFull
+		for b, c := range counts {
+			merged[b] += c
+		}
+	}
+	if secs > 0 {
+		snap.ThroughputFPS = float64(snap.Frames) / secs
+	}
+	snap.P50LatencyMS = jsonQuantile(merged, 0.50)
+	snap.P99LatencyMS = jsonQuantile(merged, 0.99)
+	return snap
+}
+
+// jsonQuantile maps an empty histogram's NaN to -1 (JSON has no NaN).
+func jsonQuantile(counts [histBuckets]uint64, q float64) float64 {
+	v := quantileOf(counts, q)
+	if math.IsNaN(v) {
+		return -1
+	}
+	return v
+}

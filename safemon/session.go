@@ -46,8 +46,8 @@ func replayTrace(ctx context.Context, s Session, traj *Trajectory, timing bool) 
 // are forwarded so ground-truth-context backends work out of the box.
 func runViaSession(ctx context.Context, d Detector, traj *Trajectory, timing bool) (*Trace, error) {
 	var opts []SessionOption
-	if len(traj.Gestures) == len(traj.Frames) {
-		opts = append(opts, WithSessionLabels(traj.Gestures))
+	if gt := groundTruthOf(traj); gt != nil {
+		opts = append(opts, WithSessionLabels(gt))
 	}
 	s, err := d.NewSession(opts...)
 	if err != nil {
@@ -68,6 +68,11 @@ type StreamVerdict struct {
 // through the session and verdicts are delivered on the returned channel,
 // which closes when in closes, the context is cancelled, or a push fails.
 // Watch takes ownership of the session and closes it on exit.
+//
+// Cancellation delivery is best-effort: a consumer that is between
+// receives when the context dies may observe the channel closing without
+// a terminal Err record, so treat ctx.Err() — not the record — as the
+// authority on whether the stream was cancelled.
 func Watch(ctx context.Context, s Session, in <-chan *Frame) <-chan StreamVerdict {
 	out := make(chan StreamVerdict)
 	go func() {

@@ -1,0 +1,84 @@
+package safemon
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestWatchSoakSharedNetwork soaks Watch under -race: many concurrent
+// sessions over one shared trained network, half of them cancelled
+// mid-stream, and no goroutine may outlive its stream. This pins the PR 1
+// guarantee that inference on a shared network is race-free, now under
+// channel-mode concurrency.
+func TestWatchSoakSharedNetwork(t *testing.T) {
+	det := fittedDetector(t, "context-aware") // one shared trained network
+	fold := testFold(t)
+	baseline := runtime.NumGoroutine()
+
+	const watchers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, watchers)
+	for i := 0; i < watchers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			traj := fold.Test[i%len(fold.Test)]
+			sess, err := det.NewSession()
+			if err != nil {
+				errs <- err
+				return
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			in := make(chan *Frame)
+			out := Watch(ctx, sess, in)
+
+			cancelAt := -1
+			if i%2 == 0 {
+				cancelAt = traj.Len() / 2 // cancel mid-stream
+			}
+			go func() {
+				defer close(in)
+				for j := range traj.Frames {
+					select {
+					case in <- &traj.Frames[j]:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+			n := 0
+			for sv := range out {
+				if sv.Err != nil {
+					if ctx.Err() != nil {
+						return // cancellation surfacing as an error is fine
+					}
+					errs <- sv.Err
+					return
+				}
+				if sv.Verdict.FrameIndex != n {
+					errs <- fmt.Errorf("watcher %d: verdict %d out of order (frame %d)", i, sv.Verdict.FrameIndex, n)
+					return
+				}
+				n++
+				if n == cancelAt {
+					cancel()
+				}
+			}
+			if cancelAt < 0 && n != traj.Len() {
+				errs <- fmt.Errorf("watcher %d: %d verdicts for %d frames", i, n, traj.Len())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	testutil.WaitGoroutines(t, baseline, 2)
+}
