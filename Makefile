@@ -1,16 +1,21 @@
 # CI entry points for the conf_dsn_YasarA20 reproduction.
 #
-#   make ci        - gofmt check, vet, build, tests, -race on safemon+serve (tier-1 gate)
-#   make bench     - one-iteration benchmark smoke incl. the serve path (perf trajectory capture)
-#   make test      - tests only
-#   make race      - race-detector pass over the concurrency-bearing packages
-#   make fmt       - apply gofmt in place
+#   make ci          - gofmt check, vet, build, tests, -race on safemon+serve,
+#                      fuzz-corpus replay, allocation benchguard (tier-1 gate)
+#   make bench       - one-iteration benchmark smoke incl. the serve path (perf trajectory capture)
+#   make bench-smoke - per-backend session-step benchmarks with -benchmem,
+#                      gated by scripts/benchguard.sh (0 allocs/op budget)
+#   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
+#   make fuzz        - actively fuzz the serve protocol parser for 30s each
+#   make test        - tests only
+#   make race        - race-detector pass over the concurrency-bearing packages
+#   make fmt         - apply gofmt in place
 
 GO ?= go
 
-.PHONY: ci fmt fmtcheck vet build test race bench
+.PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard fuzz fuzz-replay
 
-ci: fmtcheck vet build test race
+ci: fmtcheck vet build test race fuzz-replay bench-smoke
 
 fmt:
 	gofmt -w .
@@ -36,3 +41,16 @@ race:
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
+
+# Session-step micro-benchmarks with allocation accounting; fails CI when
+# any backend's warm per-frame path regresses above 0 allocs/op.
+bench-smoke benchguard:
+	sh scripts/benchguard.sh
+
+# Replay the checked-in fuzz seed corpora as plain tests (what CI runs).
+fuzz-replay:
+	$(GO) test -run='^Fuzz' ./safemon/serve/
+
+# Actively fuzz the serve protocol parser (developer entry point, not CI).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=30s ./safemon/serve/

@@ -37,6 +37,7 @@ func benchOpts(seed int64) experiments.Options {
 // ---- One benchmark per table / figure ----
 
 func BenchmarkFig3MarkovChain(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig3(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -45,6 +46,7 @@ func BenchmarkFig3MarkovChain(b *testing.B) {
 }
 
 func BenchmarkFig5JSDivergence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig5(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -53,6 +55,7 @@ func BenchmarkFig5JSDivergence(b *testing.B) {
 }
 
 func BenchmarkTable3FaultInjection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable3(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -61,6 +64,7 @@ func BenchmarkTable3FaultInjection(b *testing.B) {
 }
 
 func BenchmarkTable4GestureClassification(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable4(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -69,6 +73,7 @@ func BenchmarkTable4GestureClassification(b *testing.B) {
 }
 
 func BenchmarkTable5SuturingAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable5(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -77,6 +82,7 @@ func BenchmarkTable5SuturingAblation(b *testing.B) {
 }
 
 func BenchmarkTable6BlockTransferAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable6(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -85,6 +91,7 @@ func BenchmarkTable6BlockTransferAblation(b *testing.B) {
 }
 
 func BenchmarkTable7PerGestureAUC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable7(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -93,6 +100,7 @@ func BenchmarkTable7PerGestureAUC(b *testing.B) {
 }
 
 func BenchmarkTable8OverallPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable8(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -101,6 +109,7 @@ func BenchmarkTable8OverallPipeline(b *testing.B) {
 }
 
 func BenchmarkTable9PerGestureTimeliness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTable9(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -109,6 +118,7 @@ func BenchmarkTable9PerGestureTimeliness(b *testing.B) {
 }
 
 func BenchmarkFig8Timeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig8(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -117,6 +127,7 @@ func BenchmarkFig8Timeline(b *testing.B) {
 }
 
 func BenchmarkFig9ROCSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig9(benchOpts(int64(i + 1))); err != nil {
 			b.Fatal(err)
@@ -151,6 +162,7 @@ func trainedDetector(b *testing.B, backend string, opts ...safemon.Option) (safe
 // BenchmarkMonitorPerFrame measures the end-to-end per-frame streaming
 // latency (Table VIII "computation time").
 func BenchmarkMonitorPerFrame(b *testing.B) {
+	b.ReportAllocs()
 	det, fold := trainedDetector(b, "context-aware")
 	traj := fold.Test[0]
 	sess, err := det.NewSession()
@@ -169,10 +181,12 @@ func BenchmarkMonitorPerFrame(b *testing.B) {
 // BenchmarkRunnerWorkers measures the batch-evaluation throughput of the
 // concurrent Runner at increasing fan-out — the scale axis for future PRs.
 func BenchmarkRunnerWorkers(b *testing.B) {
+	b.ReportAllocs()
 	det, fold := trainedDetector(b, "context-aware")
 	ctx := context.Background()
 	for _, workers := range []int{1, 2, 4} {
 		b.Run("w"+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			r := &safemon.Runner{Detector: det, Workers: workers}
 			for i := 0; i < b.N; i++ {
 				rep, err := r.Run(ctx, fold.Test, nil)
@@ -189,6 +203,7 @@ func BenchmarkRunnerWorkers(b *testing.B) {
 // round-trip latency of one NDJSON session through a live safemond server
 // (JSON encode, HTTP transport, shard mailbox, inference, JSON decode).
 func BenchmarkServeStream(b *testing.B) {
+	b.ReportAllocs()
 	det, fold := trainedDetector(b, "context-aware")
 	srv, err := serve.NewServer(serve.Config{
 		Detectors: map[string]safemon.Detector{"context-aware": det},
@@ -223,6 +238,7 @@ func BenchmarkServeStream(b *testing.B) {
 // increasing session fan-out via the loadgen (frames/s across all
 // sessions), the scale axis of the serving layer.
 func BenchmarkServeConcurrentSessions(b *testing.B) {
+	b.ReportAllocs()
 	det, fold := trainedDetector(b, "envelope", safemon.WithThreshold(0.2))
 	srv, err := serve.NewServer(serve.Config{
 		Detectors: map[string]safemon.Detector{"envelope": det},
@@ -239,6 +255,7 @@ func BenchmarkServeConcurrentSessions(b *testing.B) {
 	client := &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
 	for _, sessions := range []int{8, 64} {
 		b.Run("s"+strconv.Itoa(sessions), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				rep, err := serve.RunLoadGen(context.Background(), serve.LoadGenConfig{
 					Client:       client,
@@ -261,6 +278,7 @@ func BenchmarkServeConcurrentSessions(b *testing.B) {
 // ---- Substrate micro-benchmarks ----
 
 func BenchmarkLSTMForward(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	l := nn.NewLSTM(rng, 38, 64)
 	x := make([][]float64, 12)
@@ -277,6 +295,7 @@ func BenchmarkLSTMForward(b *testing.B) {
 }
 
 func BenchmarkConv1DForward(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	c := nn.NewConv1D(rng, 26, 32, 3)
 	x := make([][]float64, 10)
@@ -293,6 +312,7 @@ func BenchmarkConv1DForward(b *testing.B) {
 }
 
 func BenchmarkSimulatorStep(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	cfg := simulator.DefaultCommandConfig()
 	cfg.Hz = 1000
@@ -305,6 +325,7 @@ func BenchmarkSimulatorStep(b *testing.B) {
 }
 
 func BenchmarkSSIM(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	w := simulator.NewWorld(rng)
 	im1 := w.Render()
@@ -318,6 +339,7 @@ func BenchmarkSSIM(b *testing.B) {
 }
 
 func BenchmarkDTW(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	mk := func() []vision.Point2 {
 		out := make([]vision.Point2, 300)
@@ -334,6 +356,7 @@ func BenchmarkDTW(b *testing.B) {
 }
 
 func BenchmarkSynthGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := synth.Generate(synth.Config{
 			Task: gesture.Suturing, Hz: 30, Seed: int64(i),
@@ -387,20 +410,25 @@ func benchTrainEval(b *testing.B, fold dataset.LOSOSplit, cfg core.ErrorDetector
 // BenchmarkAblationContext compares gesture-specific vs monolithic
 // detection (the paper's headline ablation).
 func BenchmarkAblationContext(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	b.Run("gesture-specific", func(b *testing.B) {
+		b.ReportAllocs()
 		benchTrainEval(b, fold, core.DefaultErrorDetectorConfig(), true)
 	})
 	b.Run("monolithic", func(b *testing.B) {
+		b.ReportAllocs()
 		benchTrainEval(b, fold, core.DefaultErrorDetectorConfig(), false)
 	})
 }
 
 // BenchmarkAblationArch compares 1D-CNN vs LSTM vs MLP error heads.
 func BenchmarkAblationArch(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	for _, arch := range []core.ErrorArch{core.ArchConv, core.ArchLSTM, core.ArchMLP} {
 		b.Run(arch.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultErrorDetectorConfig()
 			cfg.Arch = arch
 			if arch == core.ArchLSTM {
@@ -413,11 +441,13 @@ func BenchmarkAblationArch(b *testing.B) {
 
 // BenchmarkAblationFeatures compares feature subsets (All vs C,R,G vs C,G).
 func BenchmarkAblationFeatures(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	for _, fsSet := range []kinematics.FeatureSet{
 		kinematics.AllFeatures(), kinematics.CRG(), kinematics.CG(),
 	} {
 		b.Run(fsSet.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultErrorDetectorConfig()
 			cfg.Features = fsSet
 			benchTrainEval(b, fold, cfg, true)
@@ -427,9 +457,11 @@ func BenchmarkAblationFeatures(b *testing.B) {
 
 // BenchmarkAblationWindow compares error-stage window sizes.
 func BenchmarkAblationWindow(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	for _, w := range []int{3, 5, 10} {
 		b.Run(windowName(w), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.DefaultErrorDetectorConfig()
 			cfg.Window = w
 			benchTrainEval(b, fold, cfg, true)
@@ -442,6 +474,7 @@ func windowName(w int) string { return "w" + strconv.Itoa(w) }
 // BenchmarkAblationLookahead compares the base context-specific pipeline
 // against the boundary-lookahead extension (DESIGN.md §5b).
 func BenchmarkAblationLookahead(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	ctx := context.Background()
 	for _, backend := range []string{"context-aware", "lookahead"} {
@@ -454,6 +487,7 @@ func BenchmarkAblationLookahead(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
 			r := &safemon.Runner{Detector: det, Workers: 1}
 			for i := 0; i < b.N; i++ {
 				rep, err := r.Run(ctx, fold.Test, nil)
@@ -469,6 +503,7 @@ func BenchmarkAblationLookahead(b *testing.B) {
 // BenchmarkAblationEnvelope measures the static-envelope baseline (global
 // vs per-gesture thresholds) against the same fold.
 func BenchmarkAblationEnvelope(b *testing.B) {
+	b.ReportAllocs()
 	fold := ablationData(b)
 	ctx := context.Background()
 	for _, perGesture := range []bool{false, true} {
@@ -479,6 +514,7 @@ func BenchmarkAblationEnvelope(b *testing.B) {
 			opts = append(opts, safemon.WithGroundTruthContext())
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				det, err := safemon.Open("envelope", opts...)
 				if err != nil {

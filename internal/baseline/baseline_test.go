@@ -174,3 +174,102 @@ func TestKMeansSeparatesClusters(t *testing.T) {
 		t.Errorf("centroids %v did not separate clusters", cents)
 	}
 }
+
+// TestBaselineStreamPathsZeroAlloc pins the allocation budget of every
+// baseline streaming primitive: the SkipChain OnlineDecoder's incremental
+// Viterbi push, the SDSDL StreamPredictor's sparse-encode + classify, and
+// the StaticEnvelope scorer must all process a warm frame with zero heap
+// allocations, and their outputs must match the batch-path equivalents.
+func TestBaselineStreamPathsZeroAlloc(t *testing.T) {
+	xs, ys := labeledSequences(t, 6, 31)
+
+	t.Run("skipchain-online", func(t *testing.T) {
+		sc := NewSkipChain(10)
+		if err := sc.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := sc.NewOnlineDecoder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs[0] { // warm
+			dec.Push(x)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			dec.Push(xs[0][i%len(xs[0])])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("warm OnlineDecoder.Push allocates %.1f objects/frame, want 0", allocs)
+		}
+	})
+
+	t.Run("sdsdl-stream", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(32))
+		var frames [][]float64
+		var labels []int
+		for i := range xs {
+			for tt := 0; tt < len(xs[i]); tt += 4 {
+				frames = append(frames, xs[i][tt])
+				labels = append(labels, ys[i][tt])
+			}
+		}
+		sd := NewSDSDL(16)
+		if err := sd.Fit(rng, frames, labels); err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sd.NewStreamPredictor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range frames[:50] {
+			want, err := sd.Predict(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := sp.Predict(f); got != want {
+				t.Fatalf("frame %d: stream predicts %d, batch %d", i, got, want)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			sp.Predict(frames[i%len(frames)])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("warm StreamPredictor.Predict allocates %.1f objects/frame, want 0", allocs)
+		}
+	})
+
+	t.Run("envelope-scorer", func(t *testing.T) {
+		trajs := envelopeDemos(t, 33, 6)
+		env := NewStaticEnvelope(kinematics.CRG(), true)
+		if err := env.Fit(trajs); err != nil {
+			t.Fatal(err)
+		}
+		scorer, err := env.NewScorer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trajs[0]
+		for i := range tr.Frames {
+			g := tr.Gestures[i]
+			want, err := env.Score(&tr.Frames[i], g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := scorer.Score(&tr.Frames[i], g); got != want {
+				t.Fatalf("frame %d: scorer %v, batch %v", i, got, want)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			scorer.Score(&tr.Frames[i%tr.Len()], tr.Gestures[i%tr.Len()])
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("warm EnvelopeScorer.Score allocates %.1f objects/frame, want 0", allocs)
+		}
+	})
+}

@@ -132,6 +132,19 @@ func (s *StaticEnvelope) Fit(trajs []*kinematics.Trajectory) error {
 	return nil
 }
 
+// selectEnvelope picks the envelope for a gesture context: the gesture's
+// own envelope when PerGesture is set and it saw at least 10 training
+// frames, the global envelope otherwise. Both scoring paths (batch Score
+// and the streaming EnvelopeScorer) share this rule, so they cannot drift.
+func (s *StaticEnvelope) selectEnvelope(gestureIdx int) *envelope {
+	if s.PerGesture {
+		if ge, ok := s.byGesture[gestureIdx]; ok && ge.n >= 10 {
+			return ge
+		}
+	}
+	return s.global
+}
+
 // Score returns the envelope-violation magnitude of a frame given its
 // gesture context (ignored unless PerGesture). Higher = more unsafe;
 // 0 means fully inside the envelope.
@@ -140,13 +153,34 @@ func (s *StaticEnvelope) Score(f *kinematics.Frame, gestureIdx int) (float64, er
 		return 0, ErrNotFitted
 	}
 	row := s.features.Extract(f, nil)
-	e := s.global
-	if s.PerGesture {
-		if ge, ok := s.byGesture[gestureIdx]; ok && ge.n >= 10 {
-			e = ge
-		}
+	return s.selectEnvelope(gestureIdx).violation(row), nil
+}
+
+// EnvelopeScorer scores frames against a fitted StaticEnvelope with a
+// cached feature projection and a reusable row buffer, so a warm Score
+// performs zero heap allocations. Scores are identical to
+// StaticEnvelope.Score. A scorer is not safe for concurrent use; create
+// one per stream (the envelope itself stays shared and read-only).
+type EnvelopeScorer struct {
+	env *StaticEnvelope
+	ext *kinematics.Extractor
+	row []float64
+}
+
+// NewScorer builds a per-stream scorer over the fitted envelope.
+func (s *StaticEnvelope) NewScorer() (*EnvelopeScorer, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
 	}
-	return e.violation(row), nil
+	ext := s.features.NewExtractor()
+	return &EnvelopeScorer{env: s, ext: ext, row: make([]float64, ext.Dim())}, nil
+}
+
+// Score returns the envelope-violation magnitude of a frame given its
+// gesture context, exactly as StaticEnvelope.Score does.
+func (sc *EnvelopeScorer) Score(f *kinematics.Frame, gestureIdx int) float64 {
+	row := sc.ext.ExtractInto(f, sc.row)
+	return sc.env.selectEnvelope(gestureIdx).violation(row)
 }
 
 // ScoreTrajectory scores every frame of a trajectory.

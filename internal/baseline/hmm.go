@@ -211,7 +211,8 @@ func (sc *SkipChain) Predict(x [][]float64) ([]int, error) {
 // Viterbi forward pass: it maintains the per-class path scores and reports
 // the best class after each frame (filtering, no backward smoothing), so a
 // streaming session sees exactly the label an offline prefix decode would
-// assign to its newest frame.
+// assign to its newest frame. Both score vectors are allocated once at
+// construction and swapped per frame, so Push never touches the heap.
 type OnlineDecoder struct {
 	sc    *SkipChain
 	delta []float64

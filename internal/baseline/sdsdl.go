@@ -102,19 +102,29 @@ func (s *SDSDL) Fit(rng *rand.Rand, frames [][]float64, labels []int) error {
 	return nil
 }
 
+// atomCand is one nearest-atom candidate during sparse encoding.
+type atomCand struct {
+	idx int
+	d   float64
+}
+
 // encode produces the soft sparse code of a frame: similarity weights on
 // its Sparsity nearest dictionary atoms, zero elsewhere.
 func (s *SDSDL) encode(f []float64) []float64 {
-	code := make([]float64, s.Atoms)
-	type cand struct {
-		idx int
-		d   float64
+	return s.encodeInto(f, make([]float64, s.Atoms), make([]atomCand, 0, s.Sparsity))
+}
+
+// encodeInto writes the soft sparse code of f into code (length Atoms,
+// fully overwritten) using best as candidate scratch (len 0, cap ≥
+// Sparsity), and returns code.
+func (s *SDSDL) encodeInto(f, code []float64, best []atomCand) []float64 {
+	for i := range code {
+		code[i] = 0
 	}
-	best := make([]cand, 0, s.Sparsity)
 	for a, atom := range s.dict {
 		d := sqDist(f, atom)
 		if len(best) < s.Sparsity {
-			best = append(best, cand{a, d})
+			best = append(best, atomCand{a, d})
 			continue
 		}
 		worst := 0
@@ -124,7 +134,7 @@ func (s *SDSDL) encode(f []float64) []float64 {
 			}
 		}
 		if d < best[worst].d {
-			best[worst] = cand{a, d}
+			best[worst] = atomCand{a, d}
 		}
 	}
 	for _, c := range best {
@@ -133,12 +143,8 @@ func (s *SDSDL) encode(f []float64) []float64 {
 	return code
 }
 
-// Predict classifies one frame.
-func (s *SDSDL) Predict(f []float64) (int, error) {
-	if !s.fitted {
-		return 0, ErrNotFitted
-	}
-	code := s.encode(f)
+// classify returns the best-margin class of a sparse code.
+func (s *SDSDL) classify(code []float64) int {
 	dim := s.Atoms + 1
 	best := math.Inf(-1)
 	bestC := s.classes[0]
@@ -152,7 +158,43 @@ func (s *SDSDL) Predict(f []float64) (int, error) {
 			best, bestC = margin, c
 		}
 	}
-	return bestC, nil
+	return bestC
+}
+
+// Predict classifies one frame.
+func (s *SDSDL) Predict(f []float64) (int, error) {
+	if !s.fitted {
+		return 0, ErrNotFitted
+	}
+	return s.classify(s.encode(f)), nil
+}
+
+// StreamPredictor classifies frames through a fitted SDSDL with
+// preallocated encode scratch, so a warm Predict performs zero heap
+// allocations. Predictions are identical to SDSDL.Predict. Not safe for
+// concurrent use; create one per stream (the dictionary and SVM weights
+// stay shared and read-only).
+type StreamPredictor struct {
+	s    *SDSDL
+	code []float64
+	best []atomCand
+}
+
+// NewStreamPredictor builds a per-stream predictor over the fitted model.
+func (s *SDSDL) NewStreamPredictor() (*StreamPredictor, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	return &StreamPredictor{
+		s:    s,
+		code: make([]float64, s.Atoms),
+		best: make([]atomCand, 0, s.Sparsity),
+	}, nil
+}
+
+// Predict classifies one frame without allocating.
+func (p *StreamPredictor) Predict(f []float64) int {
+	return p.s.classify(p.s.encodeInto(f, p.code, p.best[:0]))
 }
 
 // Accuracy computes frame-level accuracy.

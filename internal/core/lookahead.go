@@ -133,7 +133,9 @@ func (ls *LookaheadStream) Push(f *kinematics.Frame) FrameVerdict {
 	}
 	next := lm.nextGesture(v.Gesture)
 	if next != 0 && lm.Errors.PerGesture[next] != nil {
-		if s := blend * lm.Errors.Score(next, ls.base.errorBuf); s > v.Score {
+		// Score through the base stream's per-head scratch so the
+		// lookahead second head stays allocation-free too.
+		if s := blend * ls.base.errHeads.score(next, ls.base.errorWin.rows); s > v.Score {
 			v.Score = s
 			v.Unsafe = s >= lm.Threshold
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/kinematics"
+	"repro/internal/nn"
 )
 
 // Alert is one unsafe-event detection raised by the online monitor.
@@ -144,14 +145,104 @@ func (m *Monitor) Run(traj *kinematics.Trajectory) (*Trace, error) {
 	return trace, nil
 }
 
+// slidingWindow is a fixed-capacity sliding window of feature rows with
+// all row storage preallocated at construction: pushing past capacity
+// recycles the evicted oldest row's backing array for the incoming frame,
+// so steady-state pushes never touch the heap. rows is the current window
+// view, oldest first.
+type slidingWindow struct {
+	rows    [][]float64
+	backing [][]float64
+}
+
+func newSlidingWindow(capacity, dim int) slidingWindow {
+	w := slidingWindow{
+		rows:    make([][]float64, 0, capacity),
+		backing: make([][]float64, capacity),
+	}
+	buf := make([]float64, capacity*dim)
+	for i := range w.backing {
+		w.backing[i] = buf[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return w
+}
+
+// next advances the window by one frame and returns the row buffer the
+// caller must fill completely (its previous contents are stale).
+func (w *slidingWindow) next() []float64 {
+	if len(w.rows) < cap(w.rows) {
+		row := w.backing[len(w.rows)]
+		w.rows = append(w.rows, row)
+		return row
+	}
+	row := w.rows[0]
+	copy(w.rows, w.rows[1:])
+	w.rows[len(w.rows)-1] = row
+	return row
+}
+
+// reset empties the window, keeping every row's backing capacity.
+func (w *slidingWindow) reset() { w.rows = w.rows[:0] }
+
+// errHeadScorer mirrors ErrorLibrary.Score over per-stream nn.Predictors:
+// one scratch-backed predictor per trained head, built once at stream
+// creation, so scoring a window allocates nothing. The head-selection
+// fallback chain (gesture head, then global, then safe 0) is identical to
+// ErrorLibrary.Score and the scores are numerically identical.
+type errHeadScorer struct {
+	lib    *ErrorLibrary
+	per    map[int]*nn.Predictor
+	global *nn.Predictor
+}
+
+func newErrHeadScorer(lib *ErrorLibrary) errHeadScorer {
+	h := errHeadScorer{lib: lib}
+	maxT, dim := lib.Config.Window, lib.Config.Features.Dim()
+	if lib.GestureSpecific && len(lib.PerGesture) > 0 {
+		h.per = make(map[int]*nn.Predictor, len(lib.PerGesture))
+		for g, net := range lib.PerGesture {
+			if net != nil {
+				h.per[g] = net.NewPredictor(maxT, dim)
+			}
+		}
+	}
+	if lib.Global != nil {
+		h.global = lib.Global.NewPredictor(maxT, dim)
+	}
+	return h
+}
+
+func (h *errHeadScorer) score(gestureIdx int, window [][]float64) float64 {
+	var p *nn.Predictor
+	if h.lib.GestureSpecific {
+		p = h.per[gestureIdx]
+	}
+	if p == nil {
+		p = h.global
+	}
+	if p == nil {
+		return 0
+	}
+	return p.Predict(window)[1]
+}
+
 // Stream is the constant-latency online interface: feed one frame at a
 // time and receive a verdict. It maintains the sliding windows internally.
+// All window rows, feature projections and per-head inference scratch are
+// allocated at NewStream, so a warm Push performs zero heap allocations.
 type Stream struct {
 	m *Monitor
-	// ring buffers of standardized features for each stage
-	gestureBuf [][]float64
-	errorBuf   [][]float64
-	frameIdx   int
+	// sliding windows of standardized features for each stage
+	gestureWin slidingWindow
+	errorWin   slidingWindow
+	// cached feature projections for each stage
+	gestureExt *kinematics.Extractor
+	errorExt   *kinematics.Extractor
+	// per-stream inference scratch: the gesture classifier and every
+	// error head (shared trained networks, private buffers)
+	gesturePred *nn.Predictor
+	errHeads    errHeadScorer
+	frameIdx    int
 	// groundTruth optionally supplies per-frame gesture labels for
 	// perfect-boundary streaming.
 	groundTruth []int
@@ -169,7 +260,18 @@ func (m *Monitor) NewStream(groundTruth []int) (*Stream, error) {
 	if !m.UseGroundTruthGestures && m.Errors.GestureSpecific && m.Gestures == nil {
 		return nil, ErrMonitorIncomplete
 	}
-	return &Stream{m: m, groundTruth: groundTruth}, nil
+	s := &Stream{m: m, groundTruth: groundTruth}
+	cfg := m.Errors.Config
+	s.errorExt = cfg.Features.NewExtractor()
+	s.errorWin = newSlidingWindow(cfg.Window, s.errorExt.Dim())
+	s.errHeads = newErrHeadScorer(m.Errors)
+	if !m.UseGroundTruthGestures && m.Errors.GestureSpecific && m.Gestures != nil {
+		gc := m.Gestures
+		s.gestureExt = gc.Config.Features.NewExtractor()
+		s.gestureWin = newSlidingWindow(gc.Config.Window, s.gestureExt.Dim())
+		s.gesturePred = gc.Net.NewPredictor(gc.Config.Window, s.gestureExt.Dim())
+	}
+	return s, nil
 }
 
 // Reset rewinds the stream to frame zero so the session can be reused for
@@ -185,8 +287,8 @@ func (s *Stream) Reset(groundTruth []int) error {
 	if s.m.UseGroundTruthGestures && s.m.Errors.GestureSpecific && groundTruth == nil {
 		return errors.New("core: perfect-boundary streaming needs ground-truth labels")
 	}
-	s.gestureBuf = s.gestureBuf[:0]
-	s.errorBuf = s.errorBuf[:0]
+	s.gestureWin.reset()
+	s.errorWin.reset()
 	s.frameIdx = 0
 	s.groundTruth = groundTruth
 	return nil
@@ -206,34 +308,24 @@ func (s *Stream) Push(f *kinematics.Frame) FrameVerdict {
 		if idx < len(s.groundTruth) {
 			g = s.groundTruth[idx]
 		}
-	case m.Errors.GestureSpecific && m.Gestures != nil:
-		gc := m.Gestures
-		row := gc.Config.Features.Extract(f, nil)
-		if gc.Standardizer != nil {
-			gc.Standardizer.Transform(row)
+	case s.gesturePred != nil:
+		row := s.gestureExt.ExtractInto(f, s.gestureWin.next())
+		if m.Gestures.Standardizer != nil {
+			m.Gestures.Standardizer.Transform(row)
 		}
-		s.gestureBuf = append(s.gestureBuf, row)
-		if len(s.gestureBuf) > gc.Config.Window {
-			s.gestureBuf = s.gestureBuf[1:]
-		}
-		g = gc.Net.PredictClass(s.gestureBuf)
+		g = s.gesturePred.PredictClass(s.gestureWin.rows)
 	}
 
 	// Error stage.
-	cfg := m.Errors.Config
-	row := cfg.Features.Extract(f, nil)
+	row := s.errorExt.ExtractInto(f, s.errorWin.next())
 	if m.Errors.Standardizer != nil {
 		m.Errors.Standardizer.Transform(row)
-	}
-	s.errorBuf = append(s.errorBuf, row)
-	if len(s.errorBuf) > cfg.Window {
-		s.errorBuf = s.errorBuf[1:]
 	}
 	lookup := g
 	if !m.Errors.GestureSpecific {
 		lookup = -1
 	}
-	score := m.Errors.Score(lookup, s.errorBuf)
+	score := s.errHeads.score(lookup, s.errorWin.rows)
 	return FrameVerdict{
 		FrameIndex: idx,
 		Gesture:    g,

@@ -101,10 +101,36 @@ func (s FeatureSet) Indices() []int {
 func (s FeatureSet) Dim() int { return len(s.Indices()) }
 
 // Extract projects a frame onto the feature set, appending to dst and
-// returning the extended slice. Pass nil dst to allocate.
+// returning the extended slice. Pass nil dst to allocate. Extract
+// recomputes the index projection on every call; per-frame hot paths
+// should hold an Extractor instead.
 func (s FeatureSet) Extract(f *Frame, dst []float64) []float64 {
 	for _, i := range s.Indices() {
 		dst = append(dst, f[i])
+	}
+	return dst
+}
+
+// Extractor is a FeatureSet with its index projection cached, so per-frame
+// extraction into a caller-owned row is allocation-free. It is read-only
+// after construction and safe to share across goroutines.
+type Extractor struct {
+	idx []int
+}
+
+// NewExtractor compiles the feature set's index projection once.
+func (s FeatureSet) NewExtractor() *Extractor { return &Extractor{idx: s.Indices()} }
+
+// Dim returns the number of features the extractor selects per frame.
+func (e *Extractor) Dim() int { return len(e.idx) }
+
+// ExtractInto writes the projection of f into dst, which must have length
+// (or capacity) of at least Dim, and returns dst truncated to Dim. The
+// values match FeatureSet.Extract exactly.
+func (e *Extractor) ExtractInto(f *Frame, dst []float64) []float64 {
+	dst = dst[:len(e.idx)]
+	for j, k := range e.idx {
+		dst[j] = f[k]
 	}
 	return dst
 }

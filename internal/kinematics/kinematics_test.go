@@ -2,6 +2,8 @@ package kinematics
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -276,5 +278,35 @@ func TestStandardizerPropertyZeroMeanUnitVar(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestExtractorMatchesExtract pins the zero-allocation extraction path to
+// the reference FeatureSet.Extract, and verifies it really is
+// allocation-free on a reused row.
+func TestExtractorMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	sets := []FeatureSet{AllFeatures(), CRG(), CG(), {FeatVelocity}}
+	var f Frame
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	for _, fs := range sets {
+		ext := fs.NewExtractor()
+		if ext.Dim() != fs.Dim() {
+			t.Fatalf("%s: extractor dim %d vs set dim %d", fs, ext.Dim(), fs.Dim())
+		}
+		want := fs.Extract(&f, nil)
+		row := make([]float64, ext.Dim())
+		got := ext.ExtractInto(&f, row)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: extractor row %v vs Extract %v", fs, got, want)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			ext.ExtractInto(&f, row)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: warm ExtractInto allocates %.1f objects/call, want 0", fs, allocs)
+		}
 	}
 }

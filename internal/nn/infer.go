@@ -1,0 +1,275 @@
+package nn
+
+import "math"
+
+// This file is the zero-allocation inference path used by the streaming
+// monitor. Training and one-shot evaluation keep using Network.Forward,
+// which allocates fresh output sequences; long-lived streams instead hold a
+// Predictor, which carries per-layer scratch buffers allocated once and
+// reused on every call, so a warm per-frame inference performs no heap
+// allocations at all (the property pinned by the allocation-budget tests in
+// alloc_test.go and safemon's perf suite).
+
+// scratch is one layer's reusable inference workspace. rows is the output
+// sequence buffer (row views into one flat backing array); a, b and c are
+// auxiliary vectors for layers that need running state inside a single
+// forward (the LSTM's hidden, cell and pre-activation vectors; the
+// Flatten layer's backing row).
+type scratch struct {
+	rows    [][]float64
+	a, b, c []float64
+}
+
+// newSeqScratch builds a scratch whose rows hold up to t rows of width d.
+func newSeqScratch(t, d int) *scratch {
+	return &scratch{rows: seq(t, d)}
+}
+
+// inferable is the optional layer capability backing Predictor: a
+// scratch-based inference forward that must produce outputs numerically
+// identical to Forward(x, false) while writing only into the scratch.
+// Every layer in this package implements it; Predictor falls back to the
+// allocating Forward for any future layer that does not.
+type inferable interface {
+	// newScratch sizes a scratch for windows of at most maxT timesteps
+	// whose rows have inDim features.
+	newScratch(maxT, inDim int) *scratch
+	// infer runs the inference-mode forward into s and returns the output
+	// sequence (backed by s, or by x for pass-through layers).
+	infer(x [][]float64, s *scratch) [][]float64
+}
+
+// Predictor executes inference forwards through a fixed network with
+// preallocated per-layer scratch, so a warm Predictor performs zero heap
+// allocations per call. It only ever reads the network's weights — many
+// Predictors may share one trained Network — but a single Predictor is not
+// safe for concurrent use: create one per stream.
+type Predictor struct {
+	net   *Network
+	scr   []*scratch
+	probs []float64
+}
+
+// NewPredictor builds a reusable inference workspace for windows of up to
+// maxT timesteps with inDim input features. Outputs are numerically
+// identical to Network.Predict / PredictClass on the same window.
+func (n *Network) NewPredictor(maxT, inDim int) *Predictor {
+	p := &Predictor{net: n, scr: make([]*scratch, len(n.Layers))}
+	d := inDim
+	for i, l := range n.Layers {
+		if il, ok := l.(inferable); ok {
+			p.scr[i] = il.newScratch(maxT, d)
+		}
+		if _, isFlatten := l.(*Flatten); isFlatten {
+			// Flatten's true output width depends on the runtime window
+			// length; maxT*d is its widest possible row.
+			d = maxT * d
+		} else {
+			d = l.OutDim(d)
+		}
+	}
+	p.probs = make([]float64, d)
+	return p
+}
+
+// Forward runs the network on a window and returns the final logits. The
+// returned slice is scratch-backed and is overwritten by the next call.
+func (p *Predictor) Forward(x [][]float64) []float64 {
+	for i, l := range p.net.Layers {
+		if il, ok := l.(inferable); ok {
+			x = il.infer(x, p.scr[i])
+		} else {
+			x = l.Forward(x, false)
+		}
+	}
+	if len(x) == 0 {
+		return nil
+	}
+	return x[len(x)-1]
+}
+
+// Predict returns class probabilities for a window. The returned slice is
+// the Predictor's own buffer and is overwritten by the next call.
+func (p *Predictor) Predict(x [][]float64) []float64 {
+	logits := p.Forward(x)
+	return SoftmaxInto(p.probs[:len(logits)], logits)
+}
+
+// PredictClass returns the argmax class for a window.
+func (p *Predictor) PredictClass(x [][]float64) int {
+	return Argmax(p.Forward(x))
+}
+
+// ---- per-layer inference implementations ----
+
+func (d *Dense) newScratch(maxT, _ int) *scratch { return newSeqScratch(maxT, d.Out) }
+
+func (d *Dense) infer(x [][]float64, s *scratch) [][]float64 {
+	out := s.rows[:len(x)]
+	for t := range x {
+		for o := 0; o < d.Out; o++ {
+			sum := d.Bias.W[o]
+			row := d.Weight.W[o*d.In : (o+1)*d.In]
+			xt := x[t]
+			for i := 0; i < d.In; i++ {
+				sum += row[i] * xt[i]
+			}
+			out[t][o] = sum
+		}
+	}
+	return out
+}
+
+func (r *ReLU) newScratch(maxT, inDim int) *scratch { return newSeqScratch(maxT, inDim) }
+
+func (r *ReLU) infer(x [][]float64, s *scratch) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	out := s.rows[:len(x)]
+	for t := range x {
+		ot := out[t][:len(x[t])]
+		for i, v := range x[t] {
+			if v > 0 {
+				ot[i] = v
+			} else {
+				ot[i] = 0
+			}
+		}
+		out[t] = ot
+	}
+	return out
+}
+
+func (a *Tanh) newScratch(maxT, inDim int) *scratch { return newSeqScratch(maxT, inDim) }
+
+func (a *Tanh) infer(x [][]float64, s *scratch) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	out := s.rows[:len(x)]
+	for t := range x {
+		ot := out[t][:len(x[t])]
+		for i, v := range x[t] {
+			ot[i] = math.Tanh(v)
+		}
+		out[t] = ot
+	}
+	return out
+}
+
+// Dropout is identity at inference; no scratch needed.
+func (d *Dropout) newScratch(int, int) *scratch                { return nil }
+func (d *Dropout) infer(x [][]float64, _ *scratch) [][]float64 { return x }
+
+// TakeLast returns a view of its input; no scratch needed.
+func (l *TakeLast) newScratch(int, int) *scratch { return nil }
+func (l *TakeLast) infer(x [][]float64, _ *scratch) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	return x[len(x)-1:]
+}
+
+func (g *GlobalMaxPool) newScratch(_, inDim int) *scratch { return newSeqScratch(1, inDim) }
+
+func (g *GlobalMaxPool) infer(x [][]float64, s *scratch) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	d := len(x[0])
+	out := s.rows[:1]
+	row := out[0][:d]
+	for i := 0; i < d; i++ {
+		best := x[0][i]
+		for t := 1; t < len(x); t++ {
+			if x[t][i] > best {
+				best = x[t][i]
+			}
+		}
+		row[i] = best
+	}
+	out[0] = row
+	return out
+}
+
+func (f *Flatten) newScratch(maxT, inDim int) *scratch {
+	// The output row length varies with the runtime window, so the flat
+	// backing lives in a and rows[0] is re-sliced from it per call.
+	return &scratch{rows: make([][]float64, 1), a: make([]float64, maxT*inDim)}
+}
+
+func (f *Flatten) infer(x [][]float64, s *scratch) [][]float64 {
+	if len(x) == 0 {
+		return x
+	}
+	tt, d := len(x), len(x[0])
+	row := s.a[:tt*d]
+	for t := range x {
+		copy(row[t*d:(t+1)*d], x[t])
+	}
+	s.rows[0] = row
+	return s.rows
+}
+
+func (c *Conv1D) newScratch(maxT, _ int) *scratch { return newSeqScratch(maxT, c.Out) }
+
+func (c *Conv1D) infer(x [][]float64, s *scratch) [][]float64 {
+	T := len(x)
+	outT := T - c.K + 1
+	if outT < 1 {
+		outT = 1
+	}
+	out := s.rows[:outT]
+	for t := 0; t < outT; t++ {
+		for o := 0; o < c.Out; o++ {
+			sum := c.Bias.W[o]
+			for k := 0; k < c.K; k++ {
+				ti := t + k
+				if ti >= T {
+					break
+				}
+				row := c.Weight.W[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
+				xt := x[ti]
+				for i := 0; i < c.In; i++ {
+					sum += row[i] * xt[i]
+				}
+			}
+			out[t][o] = sum
+		}
+	}
+	return out
+}
+
+func (l *LSTM) newScratch(maxT, _ int) *scratch {
+	H := l.Hidden
+	s := newSeqScratch(maxT, H)
+	s.a = make([]float64, H)   // hidden state
+	s.b = make([]float64, H)   // cell state
+	s.c = make([]float64, 4*H) // gate pre-activations
+	return s
+}
+
+func (l *LSTM) infer(x [][]float64, s *scratch) [][]float64 {
+	T, H := len(x), l.Hidden
+	out := s.rows[:T]
+	h, c, pre := s.a, s.b, s.c
+	for j := 0; j < H; j++ {
+		h[j], c[j] = 0, 0
+	}
+	for t := 0; t < T; t++ {
+		l.gates(x[t], h, pre)
+		for j := 0; j < H; j++ {
+			i := sigmoid(pre[j])
+			f := sigmoid(pre[H+j])
+			g := math.Tanh(pre[2*H+j])
+			o := sigmoid(pre[3*H+j])
+			cv := f*c[j] + i*g
+			hv := o * math.Tanh(cv)
+			c[j] = cv
+			h[j] = hv
+			out[t][j] = hv
+		}
+	}
+	return out
+}

@@ -5,7 +5,13 @@ import "math"
 // Softmax converts logits into a probability distribution, numerically
 // stabilized by max subtraction.
 func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxInto writes softmax(logits) into out, which must have the same
+// length, and returns out. It is the allocation-free form used by the
+// streaming inference path.
+func SoftmaxInto(out, logits []float64) []float64 {
 	maxL := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxL {

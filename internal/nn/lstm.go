@@ -25,8 +25,10 @@ type LSTM struct {
 	hs, cs          [][]float64 // hidden and cell states, length T+1 (index 0 = initial)
 	gi, gf, gg, g_o [][]float64 // gate activations per timestep
 
-	// streaming state
-	streamH, streamC []float64
+	// streaming state and scratch, allocated by ResetStream and reused by
+	// every Step so the steady-state step path never touches the heap
+	streamH, streamC     []float64
+	streamPre, streamOut []float64
 }
 
 var _ Layer = (*LSTM)(nil)
@@ -173,23 +175,32 @@ func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 // OutDim implements Layer.
 func (l *LSTM) OutDim(int) int { return l.Hidden }
 
-// ResetStream clears the streaming hidden/cell state used by Step.
+// ResetStream initializes (first call) or zeroes (subsequent calls) the
+// streaming hidden/cell state and scratch used by Step. It must be called
+// before the first Step of every stream; after it, a reused layer is
+// indistinguishable from a fresh one and Step allocates nothing.
 func (l *LSTM) ResetStream() {
-	l.streamH = nil
-	l.streamC = nil
+	H := l.Hidden
+	if len(l.streamH) != H {
+		l.streamH = make([]float64, H)
+		l.streamC = make([]float64, H)
+		l.streamPre = make([]float64, 4*H)
+		l.streamOut = make([]float64, H)
+		return
+	}
+	for j := 0; j < H; j++ {
+		l.streamH[j], l.streamC[j] = 0, 0
+	}
 }
 
 // Step processes one timestep statefully (inference only), returning the
 // new hidden state. It backs the online monitor's constant-latency path.
+// ResetStream must be called once before the first Step; Step itself never
+// allocates, and the returned slice is reused by the next Step.
 func (l *LSTM) Step(x []float64) []float64 {
 	H := l.Hidden
-	if l.streamH == nil {
-		l.streamH = make([]float64, H)
-		l.streamC = make([]float64, H)
-	}
-	pre := make([]float64, 4*H)
+	pre, out := l.streamPre, l.streamOut
 	l.gates(x, l.streamH, pre)
-	out := make([]float64, H)
 	for j := 0; j < H; j++ {
 		i := sigmoid(pre[j])
 		f := sigmoid(pre[H+j])

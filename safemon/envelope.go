@@ -58,11 +58,16 @@ func (d *envelopeDetector) NewSession(opts ...SessionOption) (Session, error) {
 	if d.cfg.GroundTruthContext && sc.groundTruth == nil {
 		return nil, errors.New("safemon: per-gesture envelope session needs WithSessionLabels")
 	}
-	return &envelopeSession{d: d, labels: sc.groundTruth}, nil
+	scorer, err := d.env.NewScorer()
+	if err != nil {
+		return nil, err
+	}
+	return &envelopeSession{d: d, scorer: scorer, labels: sc.groundTruth}, nil
 }
 
 type envelopeSession struct {
 	d      *envelopeDetector
+	scorer *baseline.EnvelopeScorer
 	labels []int
 	idx    int
 }
@@ -72,10 +77,7 @@ func (s *envelopeSession) Push(f *Frame) (FrameVerdict, error) {
 	if s.idx < len(s.labels) {
 		g = s.labels[s.idx]
 	}
-	score, err := s.d.env.Score(f, g)
-	if err != nil {
-		return FrameVerdict{}, err
-	}
+	score := s.scorer.Score(f, g)
 	v := FrameVerdict{
 		FrameIndex: s.idx,
 		Gesture:    g,

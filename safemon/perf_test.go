@@ -1,0 +1,76 @@
+package safemon
+
+import (
+	"testing"
+)
+
+// perfBackends lists every registered backend; the allocation-budget suite
+// and the session-step benchmarks cover all of them so no backend can
+// silently regain a per-frame allocation.
+func perfBackends() []string { return Backends() }
+
+// warmSession returns a session for the backend that has already processed
+// one full trajectory, so its sliding windows and scratch buffers are at
+// steady state.
+func warmSession(t testing.TB, backend string) (Session, *Trajectory) {
+	t.Helper()
+	fold := testFold(t)
+	det := fittedDetector(t, backend)
+	traj := fold.Test[0]
+	sess, err := det.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range traj.Frames {
+		if _, err := sess.Push(&traj.Frames[i]); err != nil {
+			sess.Close()
+			t.Fatal(err)
+		}
+	}
+	return sess, traj
+}
+
+// TestSessionPushZeroAlloc is the allocation budget of the streaming hot
+// path: a warm session of every registered backend must process a frame
+// with zero heap allocations. This is the property that keeps high
+// session-count safemond serving free of GC churn; any regression here
+// fails CI (see also scripts/benchguard.sh, which guards the benchmark
+// numbers the same way).
+func TestSessionPushZeroAlloc(t *testing.T) {
+	for _, backend := range perfBackends() {
+		t.Run(backend, func(t *testing.T) {
+			sess, traj := warmSession(t, backend)
+			defer sess.Close()
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := sess.Push(&traj.Frames[i%traj.Len()]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s: warm Session.Push allocates %.1f objects/frame, want 0", backend, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSessionStep measures the per-frame latency and allocation count
+// of a warm streaming session for every registered backend — the Table VIII
+// "computation time" axis, one sub-benchmark per backend. Run with
+// -benchmem; scripts/benchguard.sh fails CI when allocs/op leaves zero.
+func BenchmarkSessionStep(b *testing.B) {
+	for _, backend := range perfBackends() {
+		b.Run(backend, func(b *testing.B) {
+			sess, traj := warmSession(b, backend)
+			defer sess.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Push(&traj.Frames[i%traj.Len()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,8 +3,10 @@ package safemon
 import (
 	"context"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestSessionPoolWarmReuse pins the pool contract: a pooled (warm) session
@@ -124,6 +126,66 @@ func TestSessionPoolBounds(t *testing.T) {
 	pool.mu.Unlock()
 	if idle != 0 {
 		t.Errorf("closed pool retained a session")
+	}
+}
+
+// TestSessionPoolSteadyStateAllocations pins the pool's memory behaviour
+// under allocation pressure: once sessions are warm, Get → stream → Put
+// cycles must not grow the live heap (each cycle reuses the pooled
+// session's scratch instead of allocating fresh windows) and must not leak
+// goroutines. Runs under -race via make ci's safemon race pass.
+func TestSessionPoolSteadyStateAllocations(t *testing.T) {
+	fold := testFold(t)
+	det := fittedDetector(t, "context-aware")
+	pool := NewSessionPool(det, 4)
+	defer pool.Close()
+	traj := fold.Test[0]
+
+	cycle := func() {
+		sess, err := pool.Get(traj.Gestures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range traj.Frames {
+			if _, err := sess.Push(&traj.Frames[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pool.Put(sess)
+	}
+
+	// Warm the pool: the first cycles pay for session construction.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const cycles = 50
+	for i := 0; i < cycles; i++ {
+		cycle()
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	// Live-heap growth across 50 warm cycles must stay far below one
+	// session's worth of buffers; 256 KiB absorbs runtime noise while
+	// still catching a per-cycle window or scratch reallocation.
+	if after.HeapAlloc > before.HeapAlloc && after.HeapAlloc-before.HeapAlloc > 256<<10 {
+		t.Errorf("live heap grew %d bytes across %d warm pool cycles",
+			after.HeapAlloc-before.HeapAlloc, cycles)
+	}
+
+	// Goroutine count must return to its warm baseline (pooled sessions
+	// own no goroutines; none may leak per cycle).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > goroutinesBefore {
+		t.Errorf("goroutines grew from %d to %d across warm pool cycles", goroutinesBefore, n)
 	}
 }
 

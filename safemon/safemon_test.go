@@ -18,7 +18,7 @@ var foldFixture struct {
 	err  error
 }
 
-func testFold(t *testing.T) dataset.LOSOSplit {
+func testFold(t testing.TB) dataset.LOSOSplit {
 	t.Helper()
 	foldFixture.once.Do(func() {
 		demos, err := synth.Generate(synth.Config{
@@ -56,7 +56,7 @@ var fittedFixture struct {
 	m  map[string]Detector
 }
 
-func fittedDetector(t *testing.T, backend string) Detector {
+func fittedDetector(t testing.TB, backend string) Detector {
 	t.Helper()
 	fold := testFold(t)
 	fittedFixture.mu.Lock()

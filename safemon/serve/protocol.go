@@ -18,7 +18,12 @@
 package serve
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 
 	"repro/safemon"
 )
@@ -81,6 +86,55 @@ type ServerMsg struct {
 	Verdict *VerdictMsg `json:"verdict,omitempty"`
 	Done    *DoneMsg    `json:"done,omitempty"`
 	Error   *ErrorMsg   `json:"error,omitempty"`
+}
+
+// maxRecordBytes caps one NDJSON request record: generous for a labels
+// header of a very long trajectory (~7 bytes per label) and two orders of
+// magnitude above a frame record, but it stops a single line from
+// buffering the server into the ground.
+const maxRecordBytes = 1 << 20
+
+// errRecordTooLarge reports a request line over the per-record cap.
+var errRecordTooLarge = fmt.Errorf("serve: record exceeds %d bytes", maxRecordBytes)
+
+// DecodeRecord parses one NDJSON request line (without its newline) into
+// msg, overwriting any previous contents. Surrounding whitespace is
+// ignored. It never panics on malformed input — the property the fuzz
+// harness pins — and returns the json error for anything that is not a
+// single valid ClientMsg object.
+func DecodeRecord(line []byte, msg *ClientMsg) error {
+	*msg = ClientMsg{}
+	return json.Unmarshal(line, msg)
+}
+
+// recordReader decodes NDJSON records line by line under maxRecordBytes.
+type recordReader struct {
+	scan *bufio.Scanner
+}
+
+func newRecordReader(r io.Reader) *recordReader {
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	return &recordReader{scan: scan}
+}
+
+// next decodes the next non-empty line into msg; io.EOF at clean stream
+// end, the underlying read error otherwise.
+func (d *recordReader) next(msg *ClientMsg) error {
+	for d.scan.Scan() {
+		line := bytes.TrimSpace(d.scan.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		return DecodeRecord(line, msg)
+	}
+	if err := d.scan.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return errRecordTooLarge
+		}
+		return err
+	}
+	return io.EOF
 }
 
 // TraceFromVerdicts rebuilds an offline-shaped trace from streamed

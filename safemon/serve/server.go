@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -280,46 +278,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		wire := WireVerdict(v)
 		emit(ServerMsg{Verdict: &wire})
 	}
-}
-
-// maxRecordBytes caps one NDJSON request record: generous for a labels
-// header of a very long trajectory (~7 bytes per label) and two orders of
-// magnitude above a frame record, but it stops a single line from
-// buffering the server into the ground.
-const maxRecordBytes = 1 << 20
-
-// errRecordTooLarge reports a request line over the per-record cap.
-var errRecordTooLarge = fmt.Errorf("serve: record exceeds %d bytes", maxRecordBytes)
-
-// recordReader decodes NDJSON records line by line under maxRecordBytes.
-type recordReader struct {
-	scan *bufio.Scanner
-}
-
-func newRecordReader(r io.Reader) *recordReader {
-	scan := bufio.NewScanner(r)
-	scan.Buffer(make([]byte, 64<<10), maxRecordBytes)
-	return &recordReader{scan: scan}
-}
-
-// next decodes the next non-empty line into msg; io.EOF at clean stream
-// end, the underlying read error otherwise.
-func (d *recordReader) next(msg *ClientMsg) error {
-	for d.scan.Scan() {
-		line := bytes.TrimSpace(d.scan.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		*msg = ClientMsg{}
-		return json.Unmarshal(line, msg)
-	}
-	if err := d.scan.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			return errRecordTooLarge
-		}
-		return err
-	}
-	return io.EOF
 }
 
 // openError maps session-admission failures onto wire records.

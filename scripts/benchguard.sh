@@ -1,0 +1,35 @@
+#!/bin/sh
+# benchguard: the allocation-regression gate for the streaming hot path.
+#
+# Runs the per-backend session-step benchmarks with -benchmem and fails if
+# any BenchmarkSessionStep sub-benchmark reports more than 0 allocs/op —
+# the zero-allocation guarantee README's Performance section documents.
+# Run via `make bench-smoke` (or `make ci`, which includes it).
+set -eu
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+BENCHTIME="${BENCHTIME:-10x}"
+
+out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep$' \
+	-benchtime="$BENCHTIME" -benchmem ./safemon/)" || {
+	echo "$out"
+	echo "benchguard: benchmark run failed" >&2
+	exit 1
+}
+echo "$out"
+
+# Benchmark lines end in "... <B> B/op  <N> allocs/op"; NF-1 is <N>.
+echo "$out" | awk '
+	/^BenchmarkSessionStep/ {
+		if ($(NF-1) + 0 > 0) {
+			printf "benchguard: %s allocates %s allocs/op (budget: 0)\n", $1, $(NF-1)
+			bad = 1
+		}
+	}
+	END { exit bad }
+' || {
+	echo "benchguard: allocation budget exceeded on the session hot path" >&2
+	exit 1
+}
+echo "benchguard: all session-step benchmarks within the 0 allocs/op budget"
