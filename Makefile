@@ -1,19 +1,30 @@
 # CI entry points for the conf_dsn_YasarA20 reproduction.
 #
-#   make ci          - gofmt check, vet, build, tests, -race on safemon+serve,
-#                      fuzz-corpus replay, allocation benchguard (tier-1 gate)
+#   make ci          - gofmt check, vet, build, tests (incl. the
+#                      train->save->load->serve lifecycle smoke), -race on
+#                      safemon+serve, fuzz-corpus replay, allocation
+#                      benchguard (tier-1 gate)
+#   make train       - fit every backend and write versioned model artifacts
+#                      into ./models (serve them: safemond -model-dir ./models)
+#   make lifecycle-smoke - train->save->load->serve smoke test only: safemond
+#                      must answer streams from artifacts with zero Fit calls
 #   make bench       - one-iteration benchmark smoke incl. the serve path (perf trajectory capture)
-#   make bench-smoke - per-backend session-step benchmarks with -benchmem,
-#                      gated by scripts/benchguard.sh (0 allocs/op budget)
+#   make bench-smoke - per-backend session-step benchmarks (fitted AND
+#                      artifact-loaded) with -benchmem, gated by
+#                      scripts/benchguard.sh (0 allocs/op budget)
+#   make bench-coldstart - per-backend fit-vs-load time-to-ready benchmarks
 #   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
-#   make fuzz        - actively fuzz the serve protocol parser for 30s each
+#   make fuzz        - actively fuzz the serve protocol parser and the model
+#                      artifact/manifest decoders for 30s each
 #   make test        - tests only
 #   make race        - race-detector pass over the concurrency-bearing packages
 #   make fmt         - apply gofmt in place
 
 GO ?= go
+TRAIN_FLAGS ?= -demos 16 -scale 0.5 -epochs 4 -stride 3
 
-.PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard fuzz fuzz-replay
+.PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard \
+	bench-coldstart fuzz fuzz-replay train lifecycle-smoke
 
 ci: fmtcheck vet build test race fuzz-replay bench-smoke
 
@@ -43,14 +54,36 @@ bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
 
 # Session-step micro-benchmarks with allocation accounting; fails CI when
-# any backend's warm per-frame path regresses above 0 allocs/op.
+# any backend's warm per-frame path — fitted or artifact-loaded — regresses
+# above 0 allocs/op.
 bench-smoke benchguard:
 	sh scripts/benchguard.sh
 
-# Replay the checked-in fuzz seed corpora as plain tests (what CI runs).
-fuzz-replay:
-	$(GO) test -run='^Fuzz' ./safemon/serve/
+# Fit-vs-load time-to-ready per backend (the numbers behind BENCH_PR4.json).
+bench-coldstart:
+	$(GO) test -run='^$$' -bench='^BenchmarkColdStart$$' -benchtime=1x -benchmem ./safemon/
 
-# Actively fuzz the serve protocol parser (developer entry point, not CI).
+# Fit every backend on synthetic demonstrations and persist versioned
+# artifacts into ./models; `safemond -model-dir ./models -backends all`
+# then serves them without any startup training. Override TRAIN_FLAGS for
+# full-scale training (e.g. TRAIN_FLAGS='-demos 24 -scale 0.6').
+train:
+	$(GO) run ./cmd/safemond -train-only -model-dir ./models -backends all $(TRAIN_FLAGS)
+
+# The train->save->load->serve smoke: proves a safemond rebuilt from
+# artifacts answers streams byte-identically with zero Fit calls (also part
+# of `make test`, surfaced here as its own gate).
+lifecycle-smoke:
+	$(GO) test -run='^TestLifecycleSmoke$$' -count=1 -v ./cmd/safemond/
+
+# Replay the checked-in fuzz seed corpora as plain tests (what CI runs):
+# the serve protocol parser plus the model artifact/manifest decoders.
+fuzz-replay:
+	$(GO) test -run='^Fuzz' ./safemon/...
+
+# Actively fuzz the parsers (developer entry point, not CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=30s ./safemon/serve/
+	$(GO) test -run=^$$ -fuzz=FuzzLoadArtifact -fuzztime=30s ./safemon/
+	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalEnvelope -fuzztime=30s ./safemon/
+	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=30s ./safemon/modelstore/

@@ -10,8 +10,10 @@
 // table8, table9, fig8, fig9, all.
 //
 // Beyond the paper, -run loadgen drives a safemond monitoring service with
-// concurrent NDJSON streaming clients (see -addr, -sessions, -backend); it
-// is excluded from "all".
+// concurrent NDJSON streaming clients (see -addr, -sessions, -backend),
+// and -run train fits detector backends and saves versioned model
+// artifacts into -model-dir for safemond to serve (see -backend,
+// -model-version); both are excluded from "all".
 package main
 
 import (
@@ -44,7 +46,9 @@ func run(args []string) error {
 	verbose := fs.Bool("v", false, "print progress")
 	addr := fs.String("addr", "", "loadgen: safemond host:port (empty = in-process server)")
 	sessions := fs.Int("sessions", 64, "loadgen: concurrent NDJSON sessions")
-	backend := fs.String("backend", "envelope", "loadgen: detection backend to stream against")
+	backend := fs.String("backend", "envelope", "loadgen/train: backend(s) to use (train accepts a comma list or 'all')")
+	modelDir := fs.String("model-dir", "./models", "train: model store directory for saved artifacts")
+	modelVersion := fs.String("model-version", "", "train: artifact version (empty = next sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -74,13 +78,16 @@ func run(args []string) error {
 		"loadgen": func() (renderer, error) {
 			return runLoadgen(opts, loadgenOptions{addr: *addr, backend: *backend, sessions: *sessions})
 		},
+		"train": func() (renderer, error) {
+			return runTrain(opts, trainOptions{modelDir: *modelDir, backends: *backend, version: *modelVersion})
+		},
 	}
 
 	names := []string{*runName}
 	if *runName == "all" {
 		names = names[:0]
 		for name := range runners {
-			if name == "loadgen" { // a service drill, not a paper artifact
+			if name == "loadgen" || name == "train" { // service drills, not paper artifacts
 				continue
 			}
 			names = append(names, name)

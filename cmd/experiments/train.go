@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+	"repro/safemon"
+	"repro/safemon/modelstore"
+)
+
+// trainOptions carries the train-mode flags.
+type trainOptions struct {
+	modelDir string
+	backends string // comma-separated or "all"
+	version  string
+}
+
+// trainResult renders the manifests of one training run.
+type trainResult struct {
+	dir       string
+	manifests []*modelstore.Manifest
+	elapsed   map[string]time.Duration
+}
+
+func (r *trainResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model artifacts in %s:\n", r.dir)
+	for _, m := range r.manifests {
+		fmt.Fprintf(&b, "%-14s %-8s %8d bytes  config %s  fit %.1fs\n",
+			m.Backend, m.Version, m.SizeBytes, m.TrainConfigHash,
+			r.elapsed[m.Backend].Seconds())
+	}
+	b.WriteString("Serve with: safemond -model-dir " + r.dir + " -backends all\n")
+	return b.String()
+}
+
+// runTrain is the offline half of the model lifecycle as an experiments
+// mode: fit the requested backends on synthetic demonstrations and persist
+// versioned artifacts into the model store, ready for `safemond
+// -model-dir` to serve without training.
+func runTrain(opts experiments.Options, to trainOptions) (renderer, error) {
+	ctx := context.Background()
+	numDemos, scale := 12, 0.35
+	if opts.Scale == experiments.Full {
+		numDemos, scale = 24, 0.6
+	}
+	set, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: opts.Seed,
+		NumDemos: numDemos, NumTrials: 4, Subjects: 4, DurationScale: scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.LOSO(synth.Trajectories(set))
+	train := folds[len(folds)-1].Train
+
+	names := safemon.Backends()
+	if to.backends != "" && to.backends != "all" {
+		names = strings.Split(to.backends, ",")
+	}
+
+	store, err := modelstore.Open(to.modelDir)
+	if err != nil {
+		return nil, err
+	}
+	res := &trainResult{dir: store.Dir(), elapsed: map[string]time.Duration{}}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		detOpts := []safemon.Option{safemon.WithSeed(opts.Seed)}
+		if opts.Scale == experiments.Quick {
+			detOpts = append(detOpts, safemon.WithEpochs(2), safemon.WithTrainStride(6))
+		}
+		det, err := safemon.Open(name, detOpts...)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Verbose != nil {
+			opts.Verbose("fitting " + name)
+		}
+		start := time.Now()
+		if err := det.Fit(ctx, train); err != nil {
+			return nil, fmt.Errorf("fit %s: %w", name, err)
+		}
+		res.elapsed[name] = time.Since(start)
+		m, err := store.Save(det, to.version)
+		if err != nil {
+			return nil, fmt.Errorf("save %s: %w", name, err)
+		}
+		res.manifests = append(res.manifests, m)
+	}
+	return res, nil
+}

@@ -1,17 +1,32 @@
-// Command safemond is the long-lived real-time monitoring service: it fits
-// one or more safemon backends on synthetic demonstrations at startup,
-// then serves concurrent NDJSON kinematics streams over HTTP, emitting
-// verdicts frame by frame through a sharded session manager with bounded
-// mailboxes and explicit backpressure.
+// Command safemond is the long-lived real-time monitoring service: it
+// serves concurrent NDJSON kinematics streams over HTTP, emitting verdicts
+// frame by frame through a sharded session manager with bounded mailboxes
+// and explicit backpressure.
+//
+// Models come from one of two places:
+//
+//   - artifacts (production): -model-dir serves the latest version of each
+//     backend from a safemon/modelstore directory — startup is a
+//     millisecond-scale artifact load, never a training run. SIGHUP (or
+//     POST /v1/models/reload) atomically hot-swaps to the store's current
+//     latest versions: new streams bind the new models while in-flight
+//     streams finish on the old ones.
+//   - training (development): without -model-dir the daemon fits the
+//     requested backends on synthetic demonstrations at startup, as a
+//     self-contained demo. With -train-only it fits, writes versioned
+//     artifacts into -model-dir, and exits — the offline half of the
+//     train → artifact → serve lifecycle.
 //
 // Usage:
 //
-//	safemond -addr :8080 -backends envelope,context-aware
-//	safemond -backends all -shards 8 -max-sessions 256
+//	safemond -train-only -model-dir ./models -backends all
+//	safemond -addr :8080 -model-dir ./models -backends all
+//	safemond -addr :8080 -backends envelope,context-aware   # fit at startup
 //
 // Endpoints: POST /v1/stream?backend=NAME (NDJSON duplex), GET
-// /v1/backends, GET /stats, GET /healthz. See the serve package docs for
-// the wire protocol. SIGINT/SIGTERM drains in-flight streams before exit.
+// /v1/backends, GET /v1/models, POST /v1/models/reload, GET /stats, GET
+// /healthz. See the serve package docs for the wire protocol.
+// SIGINT/SIGTERM drains in-flight streams before exit.
 package main
 
 import (
@@ -23,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +47,7 @@ import (
 	"repro/internal/gesture"
 	"repro/internal/synth"
 	"repro/safemon"
+	"repro/safemon/modelstore"
 	"repro/safemon/serve"
 )
 
@@ -41,17 +58,134 @@ func main() {
 	}
 }
 
+// trainOptions collects the synthetic-training knobs shared by the
+// fit-at-startup and -train-only paths.
+type trainOptions struct {
+	backends  []string
+	threshold float64
+	demos     int
+	seed      int64
+	epochs    int
+	stride    int
+	scale     float64
+	logf      func(format string, args ...any)
+}
+
+// trainDetectors fits the requested backends on synthetic demonstrations
+// and returns them keyed by backend name.
+func trainDetectors(ctx context.Context, opts trainOptions) (map[string]safemon.Detector, error) {
+	logf := opts.logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	logf("generating %d suturing demonstrations (seed %d)...", opts.demos, opts.seed)
+	set, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: opts.seed,
+		NumDemos: opts.demos, NumTrials: 4, Subjects: 4, DurationScale: opts.scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	folds := dataset.LOSO(synth.Trajectories(set))
+	train := folds[len(folds)-1].Train
+
+	detectors := make(map[string]safemon.Detector, len(opts.backends))
+	for _, name := range opts.backends {
+		name = strings.TrimSpace(name)
+		detOpts := []safemon.Option{safemon.WithThreshold(opts.threshold), safemon.WithSeed(opts.seed)}
+		if opts.epochs > 0 {
+			detOpts = append(detOpts, safemon.WithEpochs(opts.epochs))
+		}
+		if opts.stride > 0 {
+			detOpts = append(detOpts, safemon.WithTrainStride(opts.stride))
+		}
+		det, err := safemon.Open(name, detOpts...)
+		if err != nil {
+			return nil, err
+		}
+		logf("fitting %s on %d demonstrations...", name, len(train))
+		start := time.Now()
+		if err := det.Fit(ctx, train); err != nil {
+			return nil, fmt.Errorf("fit %s: %w", name, err)
+		}
+		logf("fitted %s in %.1fs", name, time.Since(start).Seconds())
+		detectors[name] = det
+	}
+	return detectors, nil
+}
+
+// saveArtifacts writes each fitted detector into the store under version
+// (empty = auto-sequential) and returns the manifests.
+func saveArtifacts(store *modelstore.Store, detectors map[string]safemon.Detector, version string) ([]*modelstore.Manifest, error) {
+	names := make([]string, 0, len(detectors))
+	for name := range detectors {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic save order for reproducible logs
+	manifests := make([]*modelstore.Manifest, 0, len(names))
+	for _, name := range names {
+		m, err := store.Save(detectors[name], version)
+		if err != nil {
+			return nil, fmt.Errorf("save %s: %w", name, err)
+		}
+		manifests = append(manifests, m)
+	}
+	return manifests, nil
+}
+
+// loadModels reconstructs the latest version of each requested backend from
+// the store — no Fit calls anywhere on this path. names == ["all"] loads
+// every backend present in the store. prior, when non-nil, short-circuits
+// backends whose latest version is unchanged: the incumbent model is reused
+// as-is, so a no-op reload costs a manifest stat per backend instead of a
+// full artifact re-decode (versions are immutable, making version equality
+// a sufficient identity check).
+func loadModels(store *modelstore.Store, names []string, prior map[string]serve.Model) (map[string]serve.Model, error) {
+	if len(names) == 1 && names[0] == "all" {
+		var err error
+		if names, err = store.Backends(); err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("model store %s is empty (run safemond -train-only first)", store.Dir())
+		}
+	}
+	models := make(map[string]serve.Model, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if prev, ok := prior[name]; ok {
+			latest, err := store.Latest(name)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %w", name, err)
+			}
+			if latest.Version == prev.Version {
+				models[name] = prev
+				continue
+			}
+		}
+		det, m, err := store.Load(name, "")
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+		models[name] = serve.Model{Detector: det, Version: m.Version}
+	}
+	return models, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("safemond", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	backends := fs.String("backends", "envelope,context-aware",
-		"comma-separated backends to fit and serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
+		"comma-separated backends to serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
+	modelDir := fs.String("model-dir", "", "versioned model store; serve its artifacts instead of fitting at startup (SIGHUP hot-swaps to new versions)")
+	trainOnly := fs.Bool("train-only", false, "fit the backends, save artifacts into -model-dir, and exit")
+	modelVersion := fs.String("model-version", "", "version for -train-only artifacts (empty = next sequential)")
 	shards := fs.Int("shards", 0, "session-manager shards (0 = serve default)")
 	mailbox := fs.Int("mailbox", 0, "per-shard mailbox depth (0 = serve default)")
 	maxSessions := fs.Int("max-sessions", 0, "concurrent stream cap (0 = serve default)")
 	enqueueTimeout := fs.Duration("enqueue-timeout", 0, "backpressure wait on a full mailbox (0 = serve default)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
-	threshold := fs.Float64("threshold", 0.5, "unsafe-score alert threshold")
+	threshold := fs.Float64("threshold", 0.5, "unsafe-score alert threshold (training paths)")
 	demos := fs.Int("demos", 24, "synthetic training demonstrations")
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	epochs := fs.Int("epochs", 0, "training epochs override (0 = backend default)")
@@ -65,52 +199,108 @@ func run(args []string) error {
 	if *backends != "all" {
 		names = strings.Split(*backends, ",")
 	}
-
-	log.Printf("generating %d suturing demonstrations (seed %d)...", *demos, *seed)
-	set, err := synth.Generate(synth.Config{
-		Task: gesture.Suturing, Hz: 30, Seed: *seed,
-		NumDemos: *demos, NumTrials: 4, Subjects: 4, DurationScale: *scale,
-	})
-	if err != nil {
-		return err
-	}
-	folds := dataset.LOSO(synth.Trajectories(set))
-	train := folds[len(folds)-1].Train
-
 	ctx := context.Background()
-	detectors := make(map[string]safemon.Detector, len(names))
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		opts := []safemon.Option{safemon.WithThreshold(*threshold), safemon.WithSeed(*seed)}
-		if *epochs > 0 {
-			opts = append(opts, safemon.WithEpochs(*epochs))
+
+	// Offline training mode: fit, persist artifacts, exit.
+	if *trainOnly {
+		if *modelDir == "" {
+			return errors.New("-train-only needs -model-dir")
 		}
-		if *stride > 0 {
-			opts = append(opts, safemon.WithTrainStride(*stride))
-		}
-		det, err := safemon.Open(name, opts...)
+		store, err := modelstore.Open(*modelDir)
 		if err != nil {
 			return err
 		}
-		log.Printf("fitting %s on %d demonstrations...", name, len(train))
-		start := time.Now()
-		if err := det.Fit(ctx, train); err != nil {
-			return fmt.Errorf("fit %s: %w", name, err)
+		detectors, err := trainDetectors(ctx, trainOptions{
+			backends: names, threshold: *threshold, demos: *demos,
+			seed: *seed, epochs: *epochs, stride: *stride, scale: *scale,
+			logf: log.Printf,
+		})
+		if err != nil {
+			return err
 		}
-		log.Printf("fitted %s in %.1fs", name, time.Since(start).Seconds())
-		detectors[name] = det
+		manifests, err := saveArtifacts(store, detectors, *modelVersion)
+		if err != nil {
+			return err
+		}
+		for _, m := range manifests {
+			log.Printf("saved %s/%s (%d bytes, config %s)", m.Backend, m.Version, m.SizeBytes, m.TrainConfigHash)
+		}
+		return nil
 	}
 
-	srv, err := serve.NewServer(serve.Config{
-		Detectors: detectors,
-		Manager: serve.ManagerConfig{
-			Shards:         *shards,
-			MailboxDepth:   *mailbox,
-			MaxSessions:    *maxSessions,
-			EnqueueTimeout: *enqueueTimeout,
-		},
-		Logf: log.Printf,
-	})
+	// Model acquisition: artifacts (production) or in-process fit (demo).
+	var cfg serve.Config
+	if *modelDir != "" {
+		store, err := modelstore.Open(*modelDir)
+		if err != nil {
+			return err
+		}
+		// "all" means "everything the store has", resolved afresh on every
+		// reload so newly trained backends appear without a restart. The
+		// copy keeps the long-lived loader closure's input independent of
+		// the logging slice reshuffled below.
+		loadNames := append([]string(nil), names...)
+		if *backends == "all" {
+			loadNames = []string{"all"}
+		}
+		// lastLoaded lets reloads reuse incumbent models whose version is
+		// unchanged. Reads and writes are serialized: the initial load runs
+		// before serving starts, and every later call holds the server's
+		// reload mutex.
+		var lastLoaded map[string]serve.Model
+		loader := func(context.Context) (map[string]serve.Model, error) {
+			models, err := loadModels(store, loadNames, lastLoaded)
+			if err != nil {
+				return nil, err
+			}
+			// A backend the store no longer lists (its directory was
+			// removed, or its manifests went corrupt on disk) keeps its
+			// healthy incumbent model: a safety monitor must not drop a
+			// serving backend because the *next* version failed to
+			// appear. Removal requires a restart.
+			for name, prev := range lastLoaded {
+				if _, ok := models[name]; !ok {
+					log.Printf("store no longer lists %s; keeping incumbent model %s", name, prev.Version)
+					models[name] = prev
+				}
+			}
+			lastLoaded = models
+			return models, nil
+		}
+		start := time.Now()
+		models, err := loader(ctx)
+		if err != nil {
+			return err
+		}
+		names = make([]string, 0, len(models))
+		for name, m := range models {
+			log.Printf("loaded %s model %s from %s", name, m.Version, *modelDir)
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		log.Printf("cold start from artifacts in %s (no training)", time.Since(start).Round(time.Millisecond))
+		cfg.Models = models
+		cfg.Loader = loader
+	} else {
+		detectors, err := trainDetectors(ctx, trainOptions{
+			backends: names, threshold: *threshold, demos: *demos,
+			seed: *seed, epochs: *epochs, stride: *stride, scale: *scale,
+			logf: log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Detectors = detectors
+	}
+
+	cfg.Manager = serve.ManagerConfig{
+		Shards:         *shards,
+		MailboxDepth:   *mailbox,
+		MaxSessions:    *maxSessions,
+		EnqueueTimeout: *enqueueTimeout,
+	}
+	cfg.Logf = log.Printf
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -130,12 +320,29 @@ func run(args []string) error {
 	}()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case sig := <-sigc:
-		log.Printf("caught %v, draining (budget %s)...", sig, *drainTimeout)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Hot-swap to the store's current latest versions without
+				// touching in-flight streams.
+				models, err := srv.Reload(ctx)
+				if err != nil {
+					log.Printf("reload failed: %v", err)
+					continue
+				}
+				for _, m := range models {
+					log.Printf("reloaded %s -> %s", m.Backend, m.Version)
+				}
+				continue
+			}
+			log.Printf("caught %v, draining (budget %s)...", sig, *drainTimeout)
+			break loop
+		}
 	}
 
 	// Drain in three steps: refuse new streams (503 / draining healthz)

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gesture"
+	"repro/internal/synth"
+	"repro/safemon"
+	"repro/safemon/modelstore"
+	"repro/safemon/serve"
+)
+
+// fitGuard wraps a loaded detector and fails the test if anything on the
+// serving path ever calls Fit — the artifact path's core promise.
+type fitGuard struct {
+	safemon.Detector
+	t *testing.T
+}
+
+func (g *fitGuard) Fit(context.Context, []*safemon.Trajectory) error {
+	g.t.Error("Fit called on the artifact-serving path")
+	return nil
+}
+
+// TestLifecycleSmoke is the train → save → load → serve CI gate: it runs
+// safemond's offline training path into a temp model store, rebuilds the
+// daemon's model set from artifacts alone (fitGuard proves zero Fit
+// calls), serves it over HTTP, and asserts the streamed verdicts are
+// byte-identical to the freshly fitted detectors' offline replay. It then
+// trains a second version and exercises the SIGHUP/reload path.
+func TestLifecycleSmoke(t *testing.T) {
+	ctx := context.Background()
+	store, err := modelstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline half: fit two fast backends and persist artifacts, exactly
+	// as `safemond -train-only -model-dir ...` does.
+	topts := trainOptions{
+		backends: []string{"envelope", "skipchain"}, threshold: 0.2,
+		demos: 10, seed: 5, scale: 0.35, logf: t.Logf,
+	}
+	fitted, err := trainDetectors(ctx, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests, err := saveArtifacts(store, fitted, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) != 2 {
+		t.Fatalf("saved %d manifests", len(manifests))
+	}
+
+	// Serving half: models come from artifacts only; Fit is forbidden.
+	models, err := loadModels(store, []string{"all"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range models {
+		if m.Version != "v0001" {
+			t.Fatalf("%s version %s", name, m.Version)
+		}
+		models[name] = serve.Model{Detector: &fitGuard{Detector: m.Detector, t: t}, Version: m.Version}
+	}
+	loader := func(context.Context) (map[string]serve.Model, error) {
+		return loadModels(store, []string{"all"}, nil)
+	}
+	srv, err := serve.NewServer(serve.Config{Models: models, Loader: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown()
+	}()
+	client := &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+
+	// A held-out trajectory (same generator family, different seed).
+	probe, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 99,
+		NumDemos: 2, NumTrials: 2, Subjects: 2, DurationScale: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := dataset.LOSO(synth.Trajectories(probe))[0].Test[0]
+
+	for name, det := range fitted {
+		ref, err := det.Run(ctx, traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.StreamTrajectory(ctx, name, traj)
+		if err != nil {
+			t.Fatalf("stream %s: %v", name, err)
+		}
+		want, _ := json.Marshal(ref.Verdicts)
+		have, _ := json.Marshal(got)
+		if !bytes.Equal(want, have) {
+			t.Fatalf("%s: artifact-served verdicts differ from fitted replay", name)
+		}
+	}
+
+	// Second lifecycle turn: train v0002, reload (what SIGHUP triggers),
+	// and confirm the daemon reports the new versions.
+	fitted2, err := trainDetectors(ctx, topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saveArtifacts(store, fitted2, ""); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := srv.Reload(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mi := range reloaded {
+		if mi.Version != "v0002" {
+			t.Fatalf("post-reload %s version %s, want v0002", mi.Backend, mi.Version)
+		}
+	}
+	if _, err := client.StreamTrajectory(ctx, "envelope", traj); err != nil {
+		t.Fatalf("stream after reload: %v", err)
+	}
+
+	// A reload that finds no new version must reuse the incumbent model
+	// instead of re-decoding the artifact.
+	prior, err := loadModels(store, []string{"envelope"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loadModels(store, []string{"envelope"}, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again["envelope"].Detector != prior["envelope"].Detector {
+		t.Error("unchanged-version reload re-decoded the artifact instead of reusing the incumbent model")
+	}
+}
+
+// TestTrainOnlyRequiresModelDir pins the CLI contract.
+func TestTrainOnlyRequiresModelDir(t *testing.T) {
+	if err := run([]string{"-train-only"}); err == nil {
+		t.Fatal("expected -train-only without -model-dir to fail")
+	}
+}

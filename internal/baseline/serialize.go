@@ -1,0 +1,327 @@
+// Binary persistence for the baseline models. Each fitted model round-trips
+// through encoding.BinaryMarshaler / BinaryUnmarshaler: the marshaled form
+// is a gob spec struct mirroring the model's full fitted state, and
+// unmarshaling validates every shape before installing it, so corrupt input
+// yields an error wrapping ErrBadModelSpec instead of a panic or a silently
+// inconsistent model.
+
+package baseline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/kinematics"
+)
+
+// ErrBadModelSpec is wrapped by every unmarshal failure caused by corrupt or
+// inconsistent serialized model state.
+var ErrBadModelSpec = errors.New("baseline: bad model spec")
+
+// ---- StaticEnvelope ----
+
+// envSpec serializes one per-feature bounds table.
+type envSpec struct {
+	Lo, Hi []float64
+	N      int
+}
+
+func (e *envelope) spec() envSpec { return envSpec{Lo: e.lo, Hi: e.hi, N: e.n} }
+
+func (s envSpec) restore(dim int) (*envelope, error) {
+	if len(s.Lo) != dim || len(s.Hi) != dim {
+		return nil, fmt.Errorf("%w: envelope bounds have %d/%d values, want %d", ErrBadModelSpec, len(s.Lo), len(s.Hi), dim)
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("%w: envelope has negative frame count %d", ErrBadModelSpec, s.N)
+	}
+	return &envelope{lo: s.Lo, hi: s.Hi, n: s.N}, nil
+}
+
+// envelopeSpec serializes a fitted StaticEnvelope.
+type envelopeSpec struct {
+	Margin     float64
+	PerGesture bool
+	Features   []int
+	Global     envSpec
+	ByGesture  map[int]envSpec
+}
+
+// MarshalBinary serializes the fitted envelope's full state.
+func (s *StaticEnvelope) MarshalBinary() ([]byte, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	spec := envelopeSpec{
+		Margin:     s.Margin,
+		PerGesture: s.PerGesture,
+		Features:   featureInts(s.features),
+		Global:     s.global.spec(),
+		ByGesture:  make(map[int]envSpec, len(s.byGesture)),
+	}
+	for g, e := range s.byGesture {
+		spec.ByGesture[g] = e.spec()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a fitted envelope from MarshalBinary's output,
+// validating every bound table against the feature set's dimensionality.
+func (s *StaticEnvelope) UnmarshalBinary(data []byte) error {
+	var spec envelopeSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return fmt.Errorf("%w: decode envelope: %v", ErrBadModelSpec, err)
+	}
+	features, err := featureSet(spec.Features)
+	if err != nil {
+		return err
+	}
+	dim := features.Dim()
+	global, err := spec.Global.restore(dim)
+	if err != nil {
+		return err
+	}
+	if global.n == 0 {
+		return fmt.Errorf("%w: envelope has no observed frames", ErrBadModelSpec)
+	}
+	byGesture := make(map[int]*envelope, len(spec.ByGesture))
+	for g, es := range spec.ByGesture {
+		e, err := es.restore(dim)
+		if err != nil {
+			return fmt.Errorf("gesture %d: %w", g, err)
+		}
+		byGesture[g] = e
+	}
+	s.Margin = spec.Margin
+	s.PerGesture = spec.PerGesture
+	s.features = features
+	s.global = global
+	s.byGesture = byGesture
+	s.fitted = true
+	return nil
+}
+
+// ---- SkipChain ----
+
+// skipChainSpec serializes a fitted SkipChain.
+type skipChainSpec struct {
+	SkipLag    int
+	SkipWeight float64
+	SelfBias   float64
+	Classes    []int
+	Means      map[int][]float64
+	Vars       map[int][]float64
+	LogPrior   map[int]float64
+	LogTrans   map[int]map[int]float64
+	LogSkip    map[int]map[int]float64
+}
+
+// MarshalBinary serializes the fitted decoder's full state.
+func (sc *SkipChain) MarshalBinary() ([]byte, error) {
+	if !sc.fitted {
+		return nil, ErrNotFitted
+	}
+	spec := skipChainSpec{
+		SkipLag:    sc.SkipLag,
+		SkipWeight: sc.SkipWeight,
+		SelfBias:   sc.SelfBias,
+		Classes:    sc.classes,
+		Means:      sc.means,
+		Vars:       sc.vars,
+		LogPrior:   sc.logPrior,
+		LogTrans:   sc.logTrans,
+		LogSkip:    sc.logSkip,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a fitted decoder from MarshalBinary's output.
+// Emission tables are validated for per-class consistency so decoding can
+// never index past a corrupt mean or variance vector.
+func (sc *SkipChain) UnmarshalBinary(data []byte) error {
+	var spec skipChainSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return fmt.Errorf("%w: decode skipchain: %v", ErrBadModelSpec, err)
+	}
+	if spec.SkipLag <= 0 {
+		return fmt.Errorf("%w: skipchain lag %d", ErrBadModelSpec, spec.SkipLag)
+	}
+	if len(spec.Classes) == 0 {
+		return fmt.Errorf("%w: skipchain has no classes", ErrBadModelSpec)
+	}
+	dim := -1
+	for _, c := range spec.Classes {
+		mu, va := spec.Means[c], spec.Vars[c]
+		if dim == -1 {
+			dim = len(mu)
+		}
+		if len(mu) == 0 || len(mu) != dim || len(va) != dim {
+			return fmt.Errorf("%w: skipchain class %d has %d/%d emission params, want %d", ErrBadModelSpec, c, len(mu), len(va), dim)
+		}
+		for _, v := range va {
+			if v <= 0 {
+				return fmt.Errorf("%w: skipchain class %d has non-positive variance", ErrBadModelSpec, c)
+			}
+		}
+		if _, ok := spec.LogPrior[c]; !ok {
+			return fmt.Errorf("%w: skipchain class %d missing prior", ErrBadModelSpec, c)
+		}
+	}
+	// Transition tables must be complete: a missing row or cell would read
+	// as log-probability 0 (= certainty) and silently skew every decode.
+	for _, name := range []string{"transition", "skip"} {
+		table := spec.LogTrans
+		if name == "skip" {
+			table = spec.LogSkip
+		}
+		for _, a := range spec.Classes {
+			row, ok := table[a]
+			if !ok {
+				return fmt.Errorf("%w: skipchain %s table missing row for class %d", ErrBadModelSpec, name, a)
+			}
+			for _, b := range spec.Classes {
+				if _, ok := row[b]; !ok {
+					return fmt.Errorf("%w: skipchain %s table missing %d->%d", ErrBadModelSpec, name, a, b)
+				}
+			}
+		}
+	}
+	sc.SkipLag = spec.SkipLag
+	sc.SkipWeight = spec.SkipWeight
+	sc.SelfBias = spec.SelfBias
+	sc.classes = spec.Classes
+	sc.means = spec.Means
+	sc.vars = spec.Vars
+	sc.logPrior = spec.LogPrior
+	sc.logTrans = spec.LogTrans
+	sc.logSkip = spec.LogSkip
+	sc.fitted = true
+	return nil
+}
+
+// Dim returns the emission dimensionality the chain was fitted on (0 when
+// unfitted).
+func (sc *SkipChain) Dim() int {
+	for _, c := range sc.classes {
+		return len(sc.means[c])
+	}
+	return 0
+}
+
+// ---- SDSDL ----
+
+// sdsdlSpec serializes a fitted SDSDL classifier.
+type sdsdlSpec struct {
+	Atoms    int
+	Sparsity int
+	Epochs   int
+	LR       float64
+	Lambda   float64
+	Dict     [][]float64
+	Classes  []int
+	Weights  [][]float64
+}
+
+// MarshalBinary serializes the fitted classifier's full state.
+func (s *SDSDL) MarshalBinary() ([]byte, error) {
+	if !s.fitted {
+		return nil, ErrNotFitted
+	}
+	spec := sdsdlSpec{
+		Atoms:    s.Atoms,
+		Sparsity: s.Sparsity,
+		Epochs:   s.Epochs,
+		LR:       s.LR,
+		Lambda:   s.Lambda,
+		Dict:     s.dict,
+		Classes:  s.classes,
+		Weights:  s.weights,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a fitted classifier from MarshalBinary's output,
+// validating dictionary and hyperplane shapes (classify indexes w[Atoms], so
+// a short hyperplane would panic at serve time if admitted here).
+func (s *SDSDL) UnmarshalBinary(data []byte) error {
+	var spec sdsdlSpec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&spec); err != nil {
+		return fmt.Errorf("%w: decode sdsdl: %v", ErrBadModelSpec, err)
+	}
+	if spec.Atoms <= 0 || spec.Sparsity <= 0 {
+		return fmt.Errorf("%w: sdsdl atoms %d / sparsity %d", ErrBadModelSpec, spec.Atoms, spec.Sparsity)
+	}
+	if len(spec.Dict) == 0 || len(spec.Dict) > spec.Atoms {
+		return fmt.Errorf("%w: sdsdl dictionary has %d atoms, want 1..%d", ErrBadModelSpec, len(spec.Dict), spec.Atoms)
+	}
+	dim := len(spec.Dict[0])
+	if dim == 0 {
+		return fmt.Errorf("%w: sdsdl has zero-dimensional atoms", ErrBadModelSpec)
+	}
+	for i, atom := range spec.Dict {
+		if len(atom) != dim {
+			return fmt.Errorf("%w: sdsdl atom %d has %d values, want %d", ErrBadModelSpec, i, len(atom), dim)
+		}
+	}
+	if len(spec.Classes) == 0 || len(spec.Weights) != len(spec.Classes) {
+		return fmt.Errorf("%w: sdsdl has %d classes and %d hyperplanes", ErrBadModelSpec, len(spec.Classes), len(spec.Weights))
+	}
+	for i, w := range spec.Weights {
+		if len(w) != spec.Atoms+1 {
+			return fmt.Errorf("%w: sdsdl hyperplane %d has %d values, want %d", ErrBadModelSpec, i, len(w), spec.Atoms+1)
+		}
+	}
+	s.Atoms = spec.Atoms
+	s.Sparsity = spec.Sparsity
+	s.Epochs = spec.Epochs
+	s.LR = spec.LR
+	s.Lambda = spec.Lambda
+	s.dict = spec.Dict
+	s.classes = spec.Classes
+	s.weights = spec.Weights
+	s.fitted = true
+	return nil
+}
+
+// Dim returns the frame dimensionality the classifier was fitted on (0 when
+// unfitted).
+func (s *SDSDL) Dim() int {
+	if len(s.dict) == 0 {
+		return 0
+	}
+	return len(s.dict[0])
+}
+
+// ---- shared feature-set helpers ----
+
+// featureInts flattens a feature set to serializable ints.
+func featureInts(fs kinematics.FeatureSet) []int {
+	out := make([]int, len(fs))
+	for i, g := range fs {
+		out[i] = int(g)
+	}
+	return out
+}
+
+// featureSet validates and restores a feature set from serialized ints.
+func featureSet(ints []int) (kinematics.FeatureSet, error) {
+	fs, err := kinematics.ParseFeatureSet(ints)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModelSpec, err)
+	}
+	return fs, nil
+}

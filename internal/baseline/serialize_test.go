@@ -1,0 +1,78 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+)
+
+// encodeSkipChainSpec crafts raw wire bytes for corrupt-input tests.
+func encodeSkipChainSpec(t *testing.T, spec skipChainSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(spec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSkipChainUnmarshalRejectsIncompleteTables pins the transition-table
+// completeness check: a missing row would read as log-probability 0
+// (certainty) and silently skew every decode, so it must be refused.
+func TestSkipChainUnmarshalRejectsIncompleteTables(t *testing.T) {
+	valid := skipChainSpec{
+		SkipLag:  5,
+		Classes:  []int{1, 2},
+		Means:    map[int][]float64{1: {0}, 2: {1}},
+		Vars:     map[int][]float64{1: {1}, 2: {1}},
+		LogPrior: map[int]float64{1: -0.7, 2: -0.7},
+		LogTrans: map[int]map[int]float64{1: {1: -1, 2: -1}, 2: {1: -1, 2: -1}},
+		LogSkip:  map[int]map[int]float64{1: {1: -1, 2: -1}, 2: {1: -1, 2: -1}},
+	}
+	if err := new(SkipChain).UnmarshalBinary(encodeSkipChainSpec(t, valid)); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := map[string]func(*skipChainSpec){
+		"nil trans table":  func(s *skipChainSpec) { s.LogTrans = nil },
+		"missing row":      func(s *skipChainSpec) { s.LogTrans = map[int]map[int]float64{1: {1: -1, 2: -1}} },
+		"missing cell":     func(s *skipChainSpec) { s.LogSkip[2] = map[int]float64{1: -1} },
+		"missing prior":    func(s *skipChainSpec) { delete(s.LogPrior, 2) },
+		"short mean":       func(s *skipChainSpec) { s.Means[2] = nil },
+		"zero variance":    func(s *skipChainSpec) { s.Vars[1] = []float64{0} },
+		"non-positive lag": func(s *skipChainSpec) { s.SkipLag = 0 },
+		"no classes":       func(s *skipChainSpec) { s.Classes = nil },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			spec := skipChainSpec{
+				SkipLag:  valid.SkipLag,
+				Classes:  append([]int(nil), valid.Classes...),
+				Means:    map[int][]float64{1: {0}, 2: {1}},
+				Vars:     map[int][]float64{1: {1}, 2: {1}},
+				LogPrior: map[int]float64{1: -0.7, 2: -0.7},
+				LogTrans: map[int]map[int]float64{1: {1: -1, 2: -1}, 2: {1: -1, 2: -1}},
+				LogSkip:  map[int]map[int]float64{1: {1: -1, 2: -1}, 2: {1: -1, 2: -1}},
+			}
+			mutate(&spec)
+			sc := new(SkipChain)
+			if err := sc.UnmarshalBinary(encodeSkipChainSpec(t, spec)); !errors.Is(err, ErrBadModelSpec) {
+				t.Fatalf("err = %v, want ErrBadModelSpec", err)
+			}
+			if sc.fitted {
+				t.Fatal("rejected spec left the model marked fitted")
+			}
+		})
+	}
+}
+
+// TestEnvelopeUnmarshalGarbage pins the envelope decoder's typed-error
+// contract on non-gob input.
+func TestEnvelopeUnmarshalGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {0xff, 0x00, 0x13}} {
+		if err := new(StaticEnvelope).UnmarshalBinary(data); !errors.Is(err, ErrBadModelSpec) {
+			t.Fatalf("err = %v, want ErrBadModelSpec", err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,6 +12,12 @@ import (
 	"repro/internal/kinematics"
 	"repro/internal/nn"
 )
+
+// ErrBadMonitorSpec is wrapped by every DecodeMonitor failure caused by a
+// corrupt or inconsistent serialized monitor bundle. Decoding validates
+// shapes before installing anything, so corrupt input can neither panic nor
+// produce a half-populated monitor.
+var ErrBadMonitorSpec = errors.New("core: bad monitor spec")
 
 // persistedGestureConfig mirrors GestureClassifierConfig without its
 // func-typed fields, which gob cannot encode.
@@ -103,6 +110,33 @@ func featureSet(ints []int) kinematics.FeatureSet {
 	return out
 }
 
+// checkFeatureInts rejects serialized feature sets naming unknown groups
+// (which would silently project zero-dimensional windows).
+func checkFeatureInts(ints []int) error {
+	if _, err := kinematics.ParseFeatureSet(ints); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMonitorSpec, err)
+	}
+	return nil
+}
+
+// checkStandardizer validates a persisted mean/std pair against the feature
+// dimensionality (Transform indexes Std through Mean's range, so a length
+// mismatch would panic at serve time if admitted here).
+func checkStandardizer(mean, std []float64, dim int, stage string) error {
+	if len(mean) == 0 && len(std) == 0 {
+		return nil
+	}
+	if len(mean) != len(std) || len(mean) != dim {
+		return fmt.Errorf("%w: %s standardizer has %d/%d values, want %d", ErrBadMonitorSpec, stage, len(mean), len(std), dim)
+	}
+	for _, s := range std {
+		if s <= 0 {
+			return fmt.Errorf("%w: %s standardizer has non-positive std", ErrBadMonitorSpec, stage)
+		}
+	}
+	return nil
+}
+
 // persistedMonitor is the gob wire format of a trained monitor bundle:
 // both stages' networks, standardizers, and configurations, so a monitor
 // trained offline can be deployed next to the robot without retraining.
@@ -190,27 +224,53 @@ func (m *Monitor) Encode(w io.Writer) error {
 
 // DecodeMonitor reconstructs a monitor bundle written by Encode. rng seeds
 // stochastic layers in the restored networks (only relevant if retrained).
+// Corrupt input yields an error wrapping ErrBadMonitorSpec (or the nn
+// package's ErrBadNetworkSpec); it never panics and never returns a
+// partially-populated monitor.
 func DecodeMonitor(r io.Reader, rng *rand.Rand) (*Monitor, error) {
 	var p persistedMonitor
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("core: decode monitor: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrBadMonitorSpec, err)
 	}
 	m := &Monitor{Threshold: p.Threshold, UseGroundTruthGestures: p.UseGT}
 	if p.HasGesture {
+		if err := checkFeatureInts(p.GestureConfig.Features); err != nil {
+			return nil, err
+		}
+		cfg := p.GestureConfig.restore()
+		if cfg.Window <= 0 {
+			return nil, fmt.Errorf("%w: gesture window %d", ErrBadMonitorSpec, cfg.Window)
+		}
+		if err := checkStandardizer(p.GestureMean, p.GestureStd, cfg.Features.Dim(), "gesture"); err != nil {
+			return nil, err
+		}
 		net, err := decodeNet(p.GestureNet, rng)
 		if err != nil {
 			return nil, err
 		}
 		m.Gestures = &GestureClassifier{
 			Net:    net,
-			Config: p.GestureConfig.restore(),
+			Config: cfg,
 			Standardizer: &kinematics.Standardizer{
 				Mean: p.GestureMean, Std: p.GestureStd,
 			},
 		}
 	}
+	if err := checkFeatureInts(p.ErrorConfig.Features); err != nil {
+		return nil, err
+	}
+	elCfg := p.ErrorConfig.restore()
+	if elCfg.Window <= 0 {
+		return nil, fmt.Errorf("%w: error window %d", ErrBadMonitorSpec, elCfg.Window)
+	}
+	if err := checkStandardizer(p.ErrorMean, p.ErrorStd, elCfg.Features.Dim(), "error"); err != nil {
+		return nil, err
+	}
+	if len(p.HeadGestures) != len(p.HeadNets) {
+		return nil, fmt.Errorf("%w: %d head gestures but %d head nets", ErrBadMonitorSpec, len(p.HeadGestures), len(p.HeadNets))
+	}
 	lib := &ErrorLibrary{
-		Config:          p.ErrorConfig.restore(),
+		Config:          elCfg,
 		GestureSpecific: p.GestureSpecific,
 		Standardizer: &kinematics.Standardizer{
 			Mean: p.ErrorMean, Std: p.ErrorStd,
@@ -227,6 +287,9 @@ func DecodeMonitor(r io.Reader, rng *rand.Rand) (*Monitor, error) {
 	global, err := decodeNet(p.GlobalNet, rng)
 	if err != nil {
 		return nil, err
+	}
+	if global == nil && len(lib.PerGesture) == 0 {
+		return nil, fmt.Errorf("%w: error library has no trained heads", ErrBadMonitorSpec)
 	}
 	lib.Global = global
 	m.Errors = lib

@@ -1,6 +1,7 @@
 package kinematics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -53,6 +54,27 @@ func CRG() FeatureSet { return FeatureSet{FeatCartesian, FeatRotation, FeatGrasp
 // CG selects Cartesian + Grasper, the subset used for Block Transfer in
 // Table VI.
 func CG() FeatureSet { return FeatureSet{FeatCartesian, FeatGrasper} }
+
+// ParseFeatureSet validates and restores a feature set from serialized
+// group ints — the single source of truth for which groups exist, shared
+// by every persistence layer (nn/core/baseline/safemon artifacts), so a
+// new feature group needs registering here exactly once.
+func ParseFeatureSet(ints []int) (FeatureSet, error) {
+	if len(ints) == 0 {
+		return nil, errors.New("kinematics: empty feature set")
+	}
+	out := make(FeatureSet, len(ints))
+	for i, v := range ints {
+		g := FeatureGroup(v)
+		switch g {
+		case FeatCartesian, FeatRotation, FeatGrasper, FeatVelocity:
+			out[i] = g
+		default:
+			return nil, fmt.Errorf("kinematics: unknown feature group %d", v)
+		}
+	}
+	return out, nil
+}
 
 // String renders the set as the paper's comma-separated code ("C,R,G").
 func (s FeatureSet) String() string {

@@ -1,0 +1,125 @@
+package safemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/kinematics"
+	"repro/internal/synth"
+)
+
+// fuzzSeedArtifact builds one small but real envelope artifact without the
+// full test fixture (fuzz workers run the seed builder in every process, so
+// it must stay cheap and deterministic).
+func fuzzSeedArtifact(tb testing.TB) []byte {
+	tb.Helper()
+	demos, err := synth.Generate(synth.Config{
+		Task: 1, Hz: 30, Seed: 11, NumDemos: 2, NumTrials: 1, Subjects: 2, DurationScale: 0.2,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	det, err := Open("envelope", WithThreshold(0.2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := det.Fit(context.Background(), synth.Trajectories(demos)); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadArtifact is the decoder robustness gate: whatever bytes arrive,
+// LoadDetector must either succeed or return a typed *ArtifactError — it
+// must never panic, and a detector it does return must be able to open a
+// session and score a frame. The seed corpus covers the interesting
+// neighborhood: a valid artifact, truncations, bit flips, a bumped format
+// version, an oversized payload claim, and header-only prefixes.
+// `make fuzz-replay` (part of `make ci`) replays the corpus as plain tests.
+func FuzzLoadArtifact(f *testing.F) {
+	art := fuzzSeedArtifact(f)
+
+	f.Add([]byte(nil))
+	f.Add([]byte("SFMA"))
+	f.Add(art)
+	f.Add(art[:8])
+	f.Add(art[:len(art)/2])
+	f.Add(art[:len(art)-1])
+	truncName := append([]byte(nil), art[:10]...)
+	f.Add(truncName)
+	flip := append([]byte(nil), art...)
+	flip[len(flip)/3] ^= 0x10
+	f.Add(flip)
+	crcFlip := append([]byte(nil), art...)
+	crcFlip[len(crcFlip)-2] ^= 0x80
+	f.Add(crcFlip)
+	bump := append([]byte(nil), art...)
+	binary.BigEndian.PutUint16(bump[4:6], 7)
+	f.Add(bump)
+	oversized := append([]byte(nil), art...)
+	nameLen := int(binary.BigEndian.Uint16(oversized[8:10]))
+	binary.BigEndian.PutUint64(oversized[10+nameLen:18+nameLen], 1<<60)
+	f.Add(oversized)
+	f.Add(append(append([]byte(nil), art...), 0x00))
+	badName := append([]byte(nil), art...)
+	copy(badName[10:10+nameLen], bytes.Repeat([]byte{'z'}, nameLen))
+	f.Add(badName)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		det, err := LoadDetector(bytes.NewReader(data))
+		if err != nil {
+			var ae *ArtifactError
+			if !errors.As(err, &ae) {
+				t.Fatalf("LoadDetector error %T(%v) is not a *ArtifactError", err, err)
+			}
+			return
+		}
+		// An accepted artifact must produce a detector that actually
+		// serves: decode validation may not admit half-usable state.
+		sess, err := det.NewSession()
+		if err != nil {
+			// Ground-truth-context models legitimately need labels.
+			sess, err = det.NewSession(WithSessionLabels([]int{1}))
+			if err != nil {
+				t.Fatalf("loaded detector refuses sessions: %v", err)
+			}
+		}
+		defer sess.Close()
+		var frame kinematics.Frame
+		if _, err := sess.Push(&frame); err != nil {
+			t.Fatalf("loaded detector cannot score a frame: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalEnvelope drills the baseline model decoder underneath the
+// artifact envelope: arbitrary payload bytes must produce a typed error or
+// a fully usable model, never a panic.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	det, err := Open("envelope")
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = det
+	f.Add([]byte(nil))
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env := &baseline.StaticEnvelope{}
+		if err := env.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted state must be scoreable.
+		var frame kinematics.Frame
+		if _, err := env.Score(&frame, 1); err != nil {
+			t.Fatalf("unmarshaled envelope cannot score: %v", err)
+		}
+	})
+}

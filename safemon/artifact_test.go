@@ -1,0 +1,265 @@
+package safemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// saveArtifact marshals a fitted detector to bytes.
+func saveArtifact(t testing.TB, det Detector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatalf("save %s: %v", det.Info().Name, err)
+	}
+	return buf.Bytes()
+}
+
+// loadedFixture caches one artifact-loaded detector per backend, built from
+// the shared fitted fixture, so round-trip tests and the loaded-session
+// performance suite don't refit or re-decode per test.
+var loadedFixture struct {
+	m map[string]Detector
+}
+
+// loadedDetector returns a detector reconstructed from the fitted fixture's
+// artifact — the "serve from artifact" path every round-trip test compares
+// against its in-memory twin.
+func loadedDetector(t testing.TB, backend string) Detector {
+	t.Helper()
+	det := fittedDetector(t, backend) // shares fittedFixture.mu-free access pattern of tests
+	fittedFixture.mu.Lock()
+	defer fittedFixture.mu.Unlock()
+	if d, ok := loadedFixture.m[backend]; ok {
+		return d
+	}
+	loaded, err := LoadDetector(bytes.NewReader(saveArtifact(t, det)))
+	if err != nil {
+		t.Fatalf("load %s: %v", backend, err)
+	}
+	if loadedFixture.m == nil {
+		loadedFixture.m = map[string]Detector{}
+	}
+	loadedFixture.m[backend] = loaded
+	return loaded
+}
+
+// TestArtifactRoundTripVerdicts is the core round-trip guarantee: for every
+// backend, a detector reconstructed from its artifact produces verdicts
+// identical to the in-memory fitted detector, across both the batch Runner
+// and a manual Session replay (the live-safemond leg lives in
+// safemon/serve's golden suite).
+func TestArtifactRoundTripVerdicts(t *testing.T) {
+	fold := testFold(t)
+	ctx := context.Background()
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			det := fittedDetector(t, backend)
+			loaded := loadedDetector(t, backend)
+
+			if got, want := loaded.Info(), det.Info(); got != want {
+				t.Errorf("loaded Info %+v, want %+v", got, want)
+			}
+
+			wantTraces, err := (&Runner{Detector: det, Workers: 2}).Traces(ctx, fold.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTraces, err := (&Runner{Detector: loaded, Workers: 2}).Traces(ctx, fold.Test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantTraces {
+				if !reflect.DeepEqual(wantTraces[i].Verdicts, gotTraces[i].Verdicts) {
+					t.Fatalf("trajectory %d: loaded Runner verdicts differ", i)
+				}
+			}
+
+			// Manual replay, twice through one session to pin Reset.
+			traj := fold.Test[0]
+			sess, err := loaded.NewSession(WithSessionLabels(traj.Gestures))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			for pass := 0; pass < 2; pass++ {
+				for i := range traj.Frames {
+					v, err := sess.Push(&traj.Frames[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := wantTraces[0].Verdicts[i]; v != want {
+						t.Fatalf("pass %d frame %d: verdict %+v, want %+v", pass, i, v, want)
+					}
+				}
+				if err := sess.Reset(traj.Gestures); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestSaveUnfittedFails(t *testing.T) {
+	for _, backend := range Backends() {
+		det, err := Open(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := det.Save(&buf); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s: Save on unfitted detector = %v, want ErrNotFitted", backend, err)
+		}
+	}
+}
+
+// TestLoadOnFittedFails pins the already-fitted guard: loading an artifact
+// into a detector that is serving a model must fail with ErrAlreadyFitted
+// and leave the detector untouched.
+func TestLoadOnFittedFails(t *testing.T) {
+	for _, backend := range []string{"envelope", "skipchain", "context-aware"} {
+		t.Run(backend, func(t *testing.T) {
+			det := fittedDetector(t, backend)
+			art := saveArtifact(t, det)
+			if err := det.Load(bytes.NewReader(art)); !errors.Is(err, ErrAlreadyFitted) {
+				t.Fatalf("Load on fitted detector = %v, want ErrAlreadyFitted", err)
+			}
+			// The refused load must not have disturbed the live model.
+			if _, err := det.NewSession(WithSessionLabels(nil)); err != nil {
+				t.Fatalf("detector unusable after refused load: %v", err)
+			}
+		})
+	}
+}
+
+// corrupt applies one mutation to a copy of an artifact.
+func corrupt(art []byte, mutate func([]byte)) []byte {
+	out := append([]byte(nil), art...)
+	mutate(out)
+	return out
+}
+
+// TestLoadCorruptArtifactTypedErrors feeds systematically damaged artifacts
+// through LoadDetector and asserts each failure is the matching typed
+// sentinel wrapped in *ArtifactError — and never a panic.
+func TestLoadCorruptArtifactTypedErrors(t *testing.T) {
+	art := saveArtifact(t, fittedDetector(t, "envelope"))
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"bad magic", corrupt(art, func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"empty", nil, ErrBadMagic},
+		{"version bump", corrupt(art, func(b []byte) { binary.BigEndian.PutUint16(b[4:6], 99) }), ErrBadFormatVersion},
+		{"truncated header", art[:8], ErrTruncated},
+		{"truncated payload", art[:len(art)/2], ErrTruncated},
+		{"payload bit flip", corrupt(art, func(b []byte) { b[len(b)/2] ^= 0x40 }), ErrChecksum},
+		{"checksum bit flip", corrupt(art, func(b []byte) { b[len(b)-1] ^= 0x01 }), ErrChecksum},
+		{"trailing garbage", append(append([]byte(nil), art...), 0xde, 0xad), ErrCorruptPayload},
+		{"oversized claim", corrupt(art, func(b []byte) {
+			nameLen := int(binary.BigEndian.Uint16(b[8:10]))
+			binary.BigEndian.PutUint64(b[10+nameLen:18+nameLen], 1<<62)
+		}), ErrOversized},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadDetector(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt artifact loaded successfully")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want %v", err, tc.want)
+			}
+			var ae *ArtifactError
+			if !errors.As(err, &ae) {
+				t.Fatalf("error %T is not a *ArtifactError", err)
+			}
+		})
+	}
+}
+
+// TestLoadBackendMismatch loads an envelope artifact into a skipchain
+// detector directly (bypassing LoadDetector's registry dispatch).
+func TestLoadBackendMismatch(t *testing.T) {
+	art := saveArtifact(t, fittedDetector(t, "envelope"))
+	det, err := Open("skipchain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Load(bytes.NewReader(art)); !errors.Is(err, ErrBackendMismatch) {
+		t.Fatalf("cross-backend Load = %v, want ErrBackendMismatch", err)
+	}
+}
+
+// TestSessionAfterFailedLoad pins the partially-loaded guard: after a
+// failed Load the detector must refuse sessions (and Run) with an error
+// that wraps the typed *ArtifactError — not silently act unfitted, and
+// certainly not serve.
+func TestSessionAfterFailedLoad(t *testing.T) {
+	art := saveArtifact(t, fittedDetector(t, "envelope"))
+	bad := corrupt(art, func(b []byte) { b[len(b)/2] ^= 0x40 })
+
+	det, err := Open("envelope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt load succeeded")
+	}
+	_, err = det.NewSession()
+	if err == nil {
+		t.Fatal("NewSession succeeded on a failed-load detector")
+	}
+	var ae *ArtifactError
+	if !errors.As(err, &ae) {
+		t.Fatalf("NewSession error %v does not wrap *ArtifactError", err)
+	}
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("NewSession error %v does not carry the load failure", err)
+	}
+	if _, err := det.Run(context.Background(), testFold(t).Test[0]); err == nil {
+		t.Fatal("Run succeeded on a failed-load detector")
+	}
+	// A successful Fit fully repairs the detector.
+	if err := det.Fit(context.Background(), testFold(t).Train); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.NewSession(); err != nil {
+		t.Fatalf("NewSession after repair Fit: %v", err)
+	}
+}
+
+// TestConfigHash pins the manifest fingerprint: stable for one detector,
+// equal across a save/load round trip, different across configurations.
+func TestConfigHash(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	h1, err := ConfigHash(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ConfigHash(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || len(h1) != 24 || strings.Trim(h1, "0123456789abcdef") != "" {
+		t.Fatalf("unstable or malformed hash: %q vs %q", h1, h2)
+	}
+	loaded := loadedDetector(t, "envelope")
+	if h3, _ := ConfigHash(loaded); h3 != h1 {
+		t.Errorf("loaded detector hash %q differs from fitted %q", h3, h1)
+	}
+	other, err := Open("envelope", WithThreshold(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4, _ := ConfigHash(other); h4 == h1 {
+		t.Error("different configs share a hash")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/baseline"
@@ -33,11 +34,16 @@ type classifierDetector struct {
 	sc       *baseline.SkipChain
 	sd       *baseline.SDSDL
 	env      *baseline.StaticEnvelope
+	// loadErr records a failed Load so sessions can report why the
+	// detector is unusable instead of a generic not-fitted error.
+	loadErr error
 }
 
 func newClassifierDetector(cfg Config, backend classifierBackend) *classifierDetector {
 	return &classifierDetector{cfg: cfg, backend: backend}
 }
+
+func (d *classifierDetector) config() Config { return d.cfg }
 
 func (d *classifierDetector) name() string {
 	if d.backend == backendSDSDL {
@@ -107,6 +113,129 @@ func (d *classifierDetector) Fit(ctx context.Context, trajs []*Trajectory) error
 	}
 	d.features = features
 	d.env = env
+	d.loadErr = nil
+	return nil
+}
+
+// classifierPayload is the artifact payload of the skipchain and sdsdl
+// backends: the context-stage classifier, the per-gesture envelope error
+// stage, and the resolved context-feature projection.
+type classifierPayload struct {
+	Config    persistedConfig
+	Features  []int
+	SkipChain []byte
+	SDSDL     []byte
+	Envelope  []byte
+}
+
+// Save writes the fitted detector as a self-describing artifact.
+func (d *classifierDetector) Save(w io.Writer) error {
+	if d.env == nil {
+		return ErrNotFitted
+	}
+	p := classifierPayload{
+		Config:   persistConfig(d.cfg),
+		Features: featureInts(d.features),
+	}
+	var err error
+	if p.Envelope, err = d.env.MarshalBinary(); err != nil {
+		return artifactErr("encode", d.name(), err)
+	}
+	if d.sc != nil {
+		if p.SkipChain, err = d.sc.MarshalBinary(); err != nil {
+			return artifactErr("encode", d.name(), err)
+		}
+	}
+	if d.sd != nil {
+		if p.SDSDL, err = d.sd.MarshalBinary(); err != nil {
+			return artifactErr("encode", d.name(), err)
+		}
+	}
+	payload, err := encodeGob(d.name(), p)
+	if err != nil {
+		return err
+	}
+	return writeArtifact(w, d.name(), payload)
+}
+
+// Load restores fitted state from a Save artifact of the same backend.
+func (d *classifierDetector) Load(r io.Reader) error {
+	if d.env != nil {
+		return ErrAlreadyFitted
+	}
+	backend, payload, err := readArtifact(r)
+	if err != nil {
+		d.loadErr = err
+		return err
+	}
+	return d.loadPayload(backend, payload)
+}
+
+// loadPayload restores fitted state from an already-parsed artifact
+// (LoadDetector's single-parse path).
+func (d *classifierDetector) loadPayload(backend string, payload []byte) error {
+	if d.env != nil {
+		return ErrAlreadyFitted
+	}
+	err := guardLoad(d.name(), func() error {
+		if err := checkBackendName(backend, d.name()); err != nil {
+			return err
+		}
+		var p classifierPayload
+		if err := decodeGob(d.name(), payload, &p); err != nil {
+			return err
+		}
+		cfg, err := p.Config.restore(d.cfg)
+		if err != nil {
+			return artifactErr("validate", d.name(), err)
+		}
+		features, err := restoreFeatureSet(p.Features)
+		if err != nil || features == nil {
+			return artifactErr("validate", d.name(), fmt.Errorf("%w: bad context feature set (%v)", ErrCorruptPayload, err))
+		}
+		var sc *baseline.SkipChain
+		var sd *baseline.SDSDL
+		switch d.backend {
+		case backendSDSDL:
+			if len(p.SDSDL) == 0 {
+				return artifactErr("validate", d.name(), fmt.Errorf("%w: sdsdl artifact without a classifier", ErrCorruptPayload))
+			}
+			sd = &baseline.SDSDL{}
+			if err := sd.UnmarshalBinary(p.SDSDL); err != nil {
+				return artifactErr("decode", d.name(), fmt.Errorf("%w: %v", ErrCorruptPayload, err))
+			}
+			if sd.Dim() != features.Dim() {
+				return artifactErr("validate", d.name(), fmt.Errorf("%w: classifier dimension %d disagrees with %d features", ErrCorruptPayload, sd.Dim(), features.Dim()))
+			}
+		default:
+			if len(p.SkipChain) == 0 {
+				return artifactErr("validate", d.name(), fmt.Errorf("%w: skipchain artifact without a classifier", ErrCorruptPayload))
+			}
+			sc = &baseline.SkipChain{}
+			if err := sc.UnmarshalBinary(p.SkipChain); err != nil {
+				return artifactErr("decode", d.name(), fmt.Errorf("%w: %v", ErrCorruptPayload, err))
+			}
+			if sc.Dim() != features.Dim() {
+				return artifactErr("validate", d.name(), fmt.Errorf("%w: classifier dimension %d disagrees with %d features", ErrCorruptPayload, sc.Dim(), features.Dim()))
+			}
+		}
+		env := &baseline.StaticEnvelope{}
+		if err := env.UnmarshalBinary(p.Envelope); err != nil {
+			return artifactErr("decode", d.name(), fmt.Errorf("%w: %v", ErrCorruptPayload, err))
+		}
+		d.cfg = cfg
+		d.features = features
+		d.sc = sc
+		d.sd = sd
+		d.env = env
+		return nil
+	})
+	if err != nil {
+		d.features, d.sc, d.sd, d.env = nil, nil, nil, nil
+		d.loadErr = err
+		return err
+	}
+	d.loadErr = nil
 	return nil
 }
 
@@ -130,7 +259,7 @@ func (d *classifierDetector) Run(ctx context.Context, traj *Trajectory) (*Trace,
 
 func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) {
 	if d.env == nil {
-		return nil, ErrNotFitted
+		return nil, notReadyErr(d.name(), d.loadErr)
 	}
 	// All per-frame scratch — the feature projection, the classifier's
 	// decode state and the envelope scorer's row — is allocated here, so

@@ -1,8 +1,11 @@
 package safemon
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/gesture"
@@ -19,7 +22,12 @@ type contextDetector struct {
 
 	mon *core.Monitor
 	la  *core.LookaheadMonitor
+	// loadErr records a failed Load so sessions can report why the
+	// detector is unusable instead of a generic not-fitted error.
+	loadErr error
 }
+
+func (d *contextDetector) config() Config { return d.cfg }
 
 func newContextDetector(cfg Config) *contextDetector {
 	name := "context-aware"
@@ -118,6 +126,109 @@ func (d *contextDetector) Fit(ctx context.Context, trajs []*Trajectory) error {
 		d.la = core.NewLookaheadMonitor(mon, chain)
 	}
 	d.mon = mon
+	d.loadErr = nil
+	return nil
+}
+
+// contextPayload is the artifact payload of the context-aware, lookahead
+// and monolithic backends: the serialized two-stage monitor bundle plus the
+// resolved configuration (and, for lookahead, the task grammar and blend).
+type contextPayload struct {
+	Config  persistedConfig
+	Monitor []byte
+	Chain   *gesture.MarkovChain
+	Blend   float64
+}
+
+// Save writes the fitted detector as a self-describing artifact.
+func (d *contextDetector) Save(w io.Writer) error {
+	if d.mon == nil {
+		return ErrNotFitted
+	}
+	var mon bytes.Buffer
+	if err := d.mon.Encode(&mon); err != nil {
+		return artifactErr("encode", d.name, err)
+	}
+	p := contextPayload{Config: persistConfig(d.cfg), Monitor: mon.Bytes()}
+	if d.la != nil {
+		p.Chain = d.la.Chain
+		p.Blend = d.la.Blend
+	}
+	payload, err := encodeGob(d.name, p)
+	if err != nil {
+		return err
+	}
+	return writeArtifact(w, d.name, payload)
+}
+
+// Load restores fitted state from a Save artifact of the same backend. On
+// failure the detector stays unfitted and records the error (sessions then
+// fail with it); it never ends up half-populated.
+func (d *contextDetector) Load(r io.Reader) error {
+	if d.mon != nil {
+		return ErrAlreadyFitted
+	}
+	backend, payload, err := readArtifact(r)
+	if err != nil {
+		d.loadErr = err
+		return err
+	}
+	return d.loadPayload(backend, payload)
+}
+
+// loadPayload restores fitted state from an already-parsed artifact
+// (LoadDetector's single-parse path).
+func (d *contextDetector) loadPayload(backend string, payload []byte) error {
+	if d.mon != nil {
+		return ErrAlreadyFitted
+	}
+	err := guardLoad(d.name, func() error {
+		if err := checkBackendName(backend, d.name); err != nil {
+			return err
+		}
+		var p contextPayload
+		if err := decodeGob(d.name, payload, &p); err != nil {
+			return err
+		}
+		cfg, err := p.Config.restore(d.cfg)
+		if err != nil {
+			return artifactErr("validate", d.name, err)
+		}
+		mon, err := core.DecodeMonitor(bytes.NewReader(p.Monitor), rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return artifactErr("decode", d.name, fmt.Errorf("%w: %v", ErrCorruptPayload, err))
+		}
+		if mon.Errors.GestureSpecific != d.gestureSpecific {
+			return artifactErr("validate", d.name, fmt.Errorf("%w: gesture-specificity mismatch", ErrCorruptPayload))
+		}
+		if d.gestureSpecific && !cfg.GroundTruthContext && mon.Gestures == nil {
+			return artifactErr("validate", d.name, fmt.Errorf("%w: classifier-context artifact without a gesture stage", ErrCorruptPayload))
+		}
+		var la *core.LookaheadMonitor
+		if cfg.Lookahead != (d.name == "lookahead") {
+			return artifactErr("validate", d.name, fmt.Errorf("%w: lookahead flag disagrees with backend name", ErrCorruptPayload))
+		}
+		if cfg.Lookahead {
+			if p.Chain == nil {
+				return artifactErr("validate", d.name, fmt.Errorf("%w: lookahead artifact without a task grammar", ErrCorruptPayload))
+			}
+			la = core.NewLookaheadMonitor(mon, p.Chain)
+			if p.Blend > 0 {
+				la.Blend = p.Blend
+			}
+			cfg.Chain = p.Chain
+		}
+		d.cfg = cfg
+		d.mon = mon
+		d.la = la
+		return nil
+	})
+	if err != nil {
+		d.mon, d.la = nil, nil
+		d.loadErr = err
+		return err
+	}
+	d.loadErr = nil
 	return nil
 }
 
@@ -127,7 +238,7 @@ func (d *contextDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, er
 
 func (d *contextDetector) NewSession(opts ...SessionOption) (Session, error) {
 	if d.mon == nil {
-		return nil, ErrNotFitted
+		return nil, notReadyErr(d.name, d.loadErr)
 	}
 	sc := applySessionOptions(opts)
 	if d.la != nil {

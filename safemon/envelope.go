@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/baseline"
 )
@@ -17,11 +18,16 @@ import (
 type envelopeDetector struct {
 	cfg Config
 	env *baseline.StaticEnvelope
+	// loadErr records a failed Load so sessions can report why the
+	// detector is unusable instead of a generic not-fitted error.
+	loadErr error
 }
 
 func newEnvelopeDetector(cfg Config) *envelopeDetector {
 	return &envelopeDetector{cfg: cfg}
 }
+
+func (d *envelopeDetector) config() Config { return d.cfg }
 
 func (d *envelopeDetector) Info() Info {
 	return Info{Name: "envelope", Threshold: d.cfg.Threshold, Timing: d.cfg.Timing}
@@ -43,6 +49,80 @@ func (d *envelopeDetector) Fit(ctx context.Context, trajs []*Trajectory) error {
 		return fmt.Errorf("safemon: fit envelope: %w", err)
 	}
 	d.env = env
+	d.loadErr = nil
+	return nil
+}
+
+// envelopePayload is the artifact payload of the static-envelope baseline.
+type envelopePayload struct {
+	Config   persistedConfig
+	Envelope []byte
+}
+
+// Save writes the fitted detector as a self-describing artifact.
+func (d *envelopeDetector) Save(w io.Writer) error {
+	if d.env == nil {
+		return ErrNotFitted
+	}
+	env, err := d.env.MarshalBinary()
+	if err != nil {
+		return artifactErr("encode", "envelope", err)
+	}
+	payload, err := encodeGob("envelope", envelopePayload{Config: persistConfig(d.cfg), Envelope: env})
+	if err != nil {
+		return err
+	}
+	return writeArtifact(w, "envelope", payload)
+}
+
+// Load restores fitted state from a Save artifact of the same backend.
+func (d *envelopeDetector) Load(r io.Reader) error {
+	if d.env != nil {
+		return ErrAlreadyFitted
+	}
+	backend, payload, err := readArtifact(r)
+	if err != nil {
+		d.loadErr = err
+		return err
+	}
+	return d.loadPayload(backend, payload)
+}
+
+// loadPayload restores fitted state from an already-parsed artifact
+// (LoadDetector's single-parse path).
+func (d *envelopeDetector) loadPayload(backend string, payload []byte) error {
+	if d.env != nil {
+		return ErrAlreadyFitted
+	}
+	err := guardLoad("envelope", func() error {
+		if err := checkBackendName(backend, "envelope"); err != nil {
+			return err
+		}
+		var p envelopePayload
+		if err := decodeGob("envelope", payload, &p); err != nil {
+			return err
+		}
+		cfg, err := p.Config.restore(d.cfg)
+		if err != nil {
+			return artifactErr("validate", "envelope", err)
+		}
+		env := &baseline.StaticEnvelope{}
+		if err := env.UnmarshalBinary(p.Envelope); err != nil {
+			return artifactErr("decode", "envelope", fmt.Errorf("%w: %v", ErrCorruptPayload, err))
+		}
+		if env.PerGesture != cfg.GroundTruthContext {
+			return artifactErr("validate", "envelope", fmt.Errorf("%w: per-gesture flag disagrees with config", ErrCorruptPayload))
+		}
+		d.cfg = cfg
+		d.env = env
+		return nil
+	})
+	if err != nil {
+		d.env = nil
+		d.loadErr = err
+		return err
+	}
+	d.loadErr = nil
 	return nil
 }
 
@@ -52,7 +132,7 @@ func (d *envelopeDetector) Run(ctx context.Context, traj *Trajectory) (*Trace, e
 
 func (d *envelopeDetector) NewSession(opts ...SessionOption) (Session, error) {
 	if d.env == nil {
-		return nil, ErrNotFitted
+		return nil, notReadyErr("envelope", d.loadErr)
 	}
 	sc := applySessionOptions(opts)
 	if d.cfg.GroundTruthContext && sc.groundTruth == nil {

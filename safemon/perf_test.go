@@ -1,6 +1,8 @@
 package safemon
 
 import (
+	"bytes"
+	"context"
 	"testing"
 )
 
@@ -14,8 +16,19 @@ func perfBackends() []string { return Backends() }
 // steady state.
 func warmSession(t testing.TB, backend string) (Session, *Trajectory) {
 	t.Helper()
+	return warmSessionOf(t, fittedDetector(t, backend))
+}
+
+// warmLoadedSession is warmSession over the artifact-loaded twin of the
+// backend's fitted fixture.
+func warmLoadedSession(t testing.TB, backend string) (Session, *Trajectory) {
+	t.Helper()
+	return warmSessionOf(t, loadedDetector(t, backend))
+}
+
+func warmSessionOf(t testing.TB, det Detector) (Session, *Trajectory) {
+	t.Helper()
 	fold := testFold(t)
-	det := fittedDetector(t, backend)
 	traj := fold.Test[0]
 	sess, err := det.NewSession()
 	if err != nil {
@@ -55,6 +68,29 @@ func TestSessionPushZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestSessionPushZeroAllocLoaded extends the allocation budget to the
+// artifact path: a detector reconstructed with LoadDetector must satisfy
+// the same zero-allocation warm-push invariant as its fitted twin, so
+// serving from artifacts costs nothing on the hot path.
+func TestSessionPushZeroAllocLoaded(t *testing.T) {
+	for _, backend := range perfBackends() {
+		t.Run(backend, func(t *testing.T) {
+			sess, traj := warmLoadedSession(t, backend)
+			defer sess.Close()
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := sess.Push(&traj.Frames[i%traj.Len()]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if allocs != 0 {
+				t.Errorf("%s: warm loaded Session.Push allocates %.1f objects/frame, want 0", backend, allocs)
+			}
+		})
+	}
+}
+
 // BenchmarkSessionStep measures the per-frame latency and allocation count
 // of a warm streaming session for every registered backend — the Table VIII
 // "computation time" axis, one sub-benchmark per backend. Run with
@@ -73,4 +109,64 @@ func BenchmarkSessionStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSessionStepLoaded is BenchmarkSessionStep over artifact-loaded
+// detectors; scripts/benchguard.sh holds it to the same 0 allocs/op budget.
+func BenchmarkSessionStepLoaded(b *testing.B) {
+	for _, backend := range perfBackends() {
+		b.Run(backend, func(b *testing.B) {
+			sess, traj := warmLoadedSession(b, backend)
+			defer sess.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Push(&traj.Frames[i%traj.Len()]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdStart is the model-lifecycle headline: time-to-ready for a
+// detector via Fit (train on the shared fold) versus Load (decode the
+// fitted fixture's artifact). The ratio is why safemond serves from
+// artifacts; BENCH_PR4.json records both per backend.
+func BenchmarkColdStart(b *testing.B) {
+	fold := testFold(b)
+	ctx := context.Background()
+	b.Run("fit", func(b *testing.B) {
+		for _, backend := range perfBackends() {
+			b.Run(backend, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					det, err := Open(backend, quickOptions(backend)...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := det.Fit(ctx, fold.Train); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for _, backend := range perfBackends() {
+			b.Run(backend, func(b *testing.B) {
+				art := saveArtifact(b, fittedDetector(b, backend))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					det, err := LoadDetector(bytes.NewReader(art))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if det == nil {
+						b.Fatal("nil detector")
+					}
+				}
+			})
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"testing"
 )
@@ -92,6 +93,8 @@ type poisonDetector struct{ marker float64 }
 
 func (d *poisonDetector) Info() Info                               { return Info{Name: "poison", Threshold: 0.5} }
 func (d *poisonDetector) Fit(context.Context, []*Trajectory) error { return nil }
+func (d *poisonDetector) Save(io.Writer) error                     { return errors.New("poison: not serializable") }
+func (d *poisonDetector) Load(io.Reader) error                     { return errors.New("poison: not serializable") }
 func (d *poisonDetector) NewSession(...SessionOption) (Session, error) {
 	return &poisonSession{marker: d.marker}, nil
 }

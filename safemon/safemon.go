@@ -34,6 +34,7 @@ package safemon
 import (
 	"context"
 	"errors"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/gesture"
@@ -110,9 +111,9 @@ type Info struct {
 
 // Detector is the unified detection interface every backend implements.
 //
-// The lifecycle is Fit once on labeled training trajectories, then any mix
-// of batch Run calls and streaming Sessions; all post-Fit methods are safe
-// for concurrent use.
+// The lifecycle is Fit once on labeled training trajectories — or Load an
+// artifact trained elsewhere — then any mix of batch Run calls and
+// streaming Sessions; all post-Fit methods are safe for concurrent use.
 type Detector interface {
 	// Info reports the backend's name and evaluation parameters.
 	Info() Info
@@ -124,6 +125,17 @@ type Detector interface {
 	Run(ctx context.Context, traj *Trajectory) (*Trace, error)
 	// NewSession opens a streaming session.
 	NewSession(opts ...SessionOption) (Session, error)
+	// Save writes the detector's full fitted state — trained networks,
+	// baseline model parameters, configuration, thresholds — as a
+	// versioned, checksummed artifact (see LoadDetector). It fails with
+	// ErrNotFitted before Fit.
+	Save(w io.Writer) error
+	// Load restores fitted state from an artifact written by Save on the
+	// same backend, making the detector ready to serve without Fit. It
+	// fails with ErrAlreadyFitted on a fitted detector and with a typed
+	// *ArtifactError on corrupt input; after a failed Load the detector
+	// refuses sessions with an error wrapping that *ArtifactError.
+	Load(r io.Reader) error
 }
 
 // Session is the constant-latency online interface: feed one frame at a

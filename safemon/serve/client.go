@@ -51,6 +51,54 @@ func (c *Client) Backends(ctx context.Context) ([]string, error) {
 	return out.Backends, nil
 }
 
+// Models fetches the model versions the server is currently serving.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /v1/models: %s", resp.Status)
+	}
+	var out struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// Reload asks the server to hot-swap to its loader's current model set and
+// returns the model versions now serving.
+func (c *Client) Reload(ctx context.Context) ([]ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/models/reload", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	var out struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
 // Stats fetches the server's /stats snapshot.
 func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)

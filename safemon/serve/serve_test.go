@@ -380,6 +380,9 @@ func (d *stubDetector) Info() safemon.Info { return safemon.Info{Name: "stub", T
 
 func (d *stubDetector) Fit(context.Context, []*safemon.Trajectory) error { return nil }
 
+func (d *stubDetector) Save(io.Writer) error { return errors.New("stub: not serializable") }
+func (d *stubDetector) Load(io.Reader) error { return errors.New("stub: not serializable") }
+
 func (d *stubDetector) Run(ctx context.Context, traj *safemon.Trajectory) (*safemon.Trace, error) {
 	s, _ := d.NewSession()
 	trace := &safemon.Trace{}

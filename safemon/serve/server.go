@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
@@ -17,9 +16,18 @@ import (
 // Config assembles a Server.
 type Config struct {
 	// Detectors maps backend names (as clients request them) to fitted
-	// detectors. Build them without WithTiming so served verdicts stay
-	// byte-identical to the offline Runner path.
+	// detectors, each served as version "unversioned". Build them without
+	// WithTiming so served verdicts stay byte-identical to the offline
+	// Runner path. Models takes precedence when both are set.
 	Detectors map[string]safemon.Detector
+	// Models maps backend names to versioned fitted models (typically
+	// loaded from a safemon/modelstore).
+	Models map[string]Model
+	// Loader, when set, supplies a fresh model set on demand: POST
+	// /v1/models/reload (and safemond's SIGHUP) call it and atomically
+	// hot-swap the result in — new streams bind the new models while
+	// in-flight streams finish on the old ones. Nil disables reload.
+	Loader func(ctx context.Context) (map[string]Model, error)
 	// Manager tunes sharding, mailbox depth, session caps and
 	// backpressure.
 	Manager ManagerConfig
@@ -42,51 +50,61 @@ type Config struct {
 //
 //	POST /v1/stream?backend=NAME  NDJSON duplex frame/verdict stream
 //	GET  /v1/backends             served backend names
+//	GET  /v1/models               served model versions
+//	POST /v1/models/reload        hot-swap to the loader's current models
 //	GET  /stats                   per-shard throughput + latency quantiles
 //	GET  /healthz                 ok / draining
 type Server struct {
-	cfg      Config
-	manager  *Manager
-	mux      *http.ServeMux
-	backends []string
-	start    time.Time
+	cfg     Config
+	manager *Manager
+	mux     *http.ServeMux
+	start   time.Time
+
+	// reloadMu serializes Reload calls (the swap itself is atomic).
+	reloadMu sync.Mutex
 
 	mu       sync.RWMutex
 	draining bool
 }
 
-// NewServer builds the service over fitted detectors and starts its shards.
+// NewServer builds the service over fitted detectors (or versioned models)
+// and starts its shards.
 func NewServer(cfg Config) (*Server, error) {
-	manager, err := NewManager(cfg.Detectors, cfg.Manager)
+	models := cfg.Models
+	if models == nil {
+		models = make(map[string]Model, len(cfg.Detectors))
+		for name, det := range cfg.Detectors {
+			models[name] = Model{Detector: det, Version: "unversioned"}
+		}
+	}
+	manager, err := NewManagerModels(models, cfg.Manager)
 	if err != nil {
 		return nil, err
-	}
-	backends := make([]string, 0, len(cfg.Detectors))
-	for name := range cfg.Detectors {
-		backends = append(backends, name)
-	}
-	sort.Strings(backends)
-	if cfg.DefaultBackend == "" && len(backends) == 1 {
-		cfg.DefaultBackend = backends[0]
 	}
 	if cfg.StreamIdleTimeout <= 0 {
 		cfg.StreamIdleTimeout = 2 * time.Minute
 	}
-	s := &Server{cfg: cfg, manager: manager, backends: backends, start: time.Now()}
+	s := &Server{cfg: cfg, manager: manager, start: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/models/reload", s.handleReload)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
 }
+
+// Models reports the model versions currently serving (the /v1/models
+// payload).
+func (s *Server) Models() []ModelInfo { return s.manager.Models() }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns the current service counters (the /stats payload).
 func (s *Server) Stats() StatsSnapshot {
-	return s.manager.snapshot(s.backends, time.Since(s.start))
+	return s.manager.snapshot(s.manager.backendNames(), time.Since(s.start))
 }
 
 // BeginDrain flips the service into draining mode without touching
@@ -123,7 +141,7 @@ func (s *Server) isDraining() bool {
 }
 
 func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"backends": s.backends})
+	writeJSON(w, http.StatusOK, map[string]any{"backends": s.manager.backendNames()})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -156,8 +174,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if backend == "" {
 		backend = s.cfg.DefaultBackend
 	}
-	if _, ok := s.cfg.Detectors[backend]; !ok {
-		http.Error(w, fmt.Sprintf("unknown backend %q (have %v)", backend, s.backends), http.StatusNotFound)
+	if backend == "" {
+		backend = s.manager.soleBackend()
+	}
+	if !s.manager.has(backend) {
+		http.Error(w, fmt.Sprintf("unknown backend %q (have %v)", backend, s.manager.backendNames()), http.StatusNotFound)
 		return
 	}
 	if s.isDraining() {

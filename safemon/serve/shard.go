@@ -115,13 +115,13 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	return c
 }
 
-// Manager owns the shards and the per-backend warm session pools. Streams
-// attach with Open, push frames with Session.Push, and detach with
-// Session.Release; Close drains everything.
+// Manager owns the shards and the per-backend versioned models with their
+// warm session pools. Streams attach with Open, push frames with
+// Session.Push, and detach with Session.Release; Swap hot-replaces the
+// model set under live traffic; Close drains everything.
 type Manager struct {
 	cfg    ManagerConfig
 	shards []*shard
-	pools  map[string]*safemon.SessionPool
 
 	quit     chan struct{}
 	wg       sync.WaitGroup
@@ -130,26 +130,44 @@ type Manager struct {
 	active   atomic.Int64  // attached streams, for the MaxSessions cap
 
 	mu       sync.RWMutex
+	models   map[string]*backendModel
 	draining bool
 }
 
 // NewManager builds and starts the shards over fitted detectors keyed by
-// the backend name clients will request.
+// the backend name clients will request, with every model reported as
+// version "unversioned". Use NewManagerModels to carry version metadata.
 func NewManager(detectors map[string]safemon.Detector, cfg ManagerConfig) (*Manager, error) {
-	if len(detectors) == 0 {
+	models := make(map[string]Model, len(detectors))
+	for name, det := range detectors {
+		models[name] = Model{Detector: det, Version: "unversioned"}
+	}
+	return NewManagerModels(models, cfg)
+}
+
+// NewManagerModels builds and starts the shards over versioned models keyed
+// by the backend name clients will request.
+func NewManagerModels(models map[string]Model, cfg ManagerConfig) (*Manager, error) {
+	if len(models) == 0 {
 		return nil, errors.New("serve: no detectors to serve")
 	}
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:   cfg,
-		pools: make(map[string]*safemon.SessionPool, len(detectors)),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		models: map[string]*backendModel{},
+		quit:   make(chan struct{}),
 	}
-	for name, det := range detectors {
-		if det == nil {
+	now := time.Now().UTC()
+	for name, mod := range models {
+		if mod.Detector == nil {
 			return nil, fmt.Errorf("serve: nil detector for backend %q", name)
 		}
-		m.pools[name] = safemon.NewSessionPool(det, cfg.MaxIdlePerBackend)
+		m.models[name] = &backendModel{
+			det:      mod.Detector,
+			version:  mod.Version,
+			loadedAt: now,
+			pool:     safemon.NewSessionPool(mod.Detector, cfg.MaxIdlePerBackend),
+		}
 	}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
@@ -193,35 +211,51 @@ func (m *Manager) Reserve() error {
 func (m *Manager) Unreserve() { m.active.Add(-1) }
 
 // Open attaches a new stream for the named backend, drawing a warm session
-// from the backend's pool and pinning it to a shard. The caller must hold
-// a Reserve slot; on success the Session owns it (Release frees it), on
+// from the backend's *current* model (streams opened after a Swap bind the
+// new model version) and pinning it to a shard. The caller must hold a
+// Reserve slot; on success the Session owns it (Release frees it), on
 // error the caller keeps it and must Unreserve. groundTruth supplies
 // per-frame gesture labels (nil when the backend infers its own context).
 func (m *Manager) Open(backend string, groundTruth []int) (*Session, error) {
-	m.mu.RLock()
-	draining := m.draining
-	m.mu.RUnlock()
-	if draining {
-		return nil, ErrDraining
+	for {
+		m.mu.RLock()
+		draining := m.draining
+		bm := m.models[backend]
+		m.mu.RUnlock()
+		if draining {
+			return nil, ErrDraining
+		}
+		if bm == nil {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownBackend, backend)
+		}
+		sess, err := bm.pool.Get(groundTruth)
+		if err != nil {
+			return nil, err
+		}
+		// Re-check after Get: a Swap that raced us may have retired this
+		// model, and Get on its closed pool silently falls back to a fresh
+		// session of the OLD detector — which a stream opened after the
+		// swap returned must never see. Retry against the current map;
+		// each retry observes a strictly newer model set, so this cannot
+		// livelock outside a continuous swap storm.
+		m.mu.RLock()
+		current := m.models[backend] == bm
+		m.mu.RUnlock()
+		if !current {
+			sess.Close()
+			continue
+		}
+		sh := m.shards[m.next.Add(1)%uint64(len(m.shards))]
+		sh.stats.sessionsOpened.Add(1)
+		sh.stats.sessionsActive.Add(1)
+		return &Session{
+			m:     m,
+			sess:  sess,
+			shard: sh,
+			pool:  bm.pool,
+			reply: make(chan pushResult, 1),
+		}, nil
 	}
-	pool, ok := m.pools[backend]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownBackend, backend)
-	}
-	sess, err := pool.Get(groundTruth)
-	if err != nil {
-		return nil, err
-	}
-	sh := m.shards[m.next.Add(1)%uint64(len(m.shards))]
-	sh.stats.sessionsOpened.Add(1)
-	sh.stats.sessionsActive.Add(1)
-	return &Session{
-		m:     m,
-		sess:  sess,
-		shard: sh,
-		pool:  pool,
-		reply: make(chan pushResult, 1),
-	}, nil
 }
 
 // Push routes one frame through the stream's shard and waits for its
@@ -297,11 +331,12 @@ func (m *Manager) Close() {
 		return
 	}
 	m.draining = true
+	models := m.models
 	m.mu.Unlock()
 	m.inflight.Wait()
 	close(m.quit)
 	m.wg.Wait()
-	for _, p := range m.pools {
-		p.Close()
+	for _, bm := range models {
+		bm.pool.Close()
 	}
 }

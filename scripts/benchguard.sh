@@ -1,9 +1,12 @@
 #!/bin/sh
 # benchguard: the allocation-regression gate for the streaming hot path.
 #
-# Runs the per-backend session-step benchmarks with -benchmem and fails if
-# any BenchmarkSessionStep sub-benchmark reports more than 0 allocs/op —
-# the zero-allocation guarantee README's Performance section documents.
+# Runs the per-backend session-step benchmarks with -benchmem — both the
+# fitted-detector path (BenchmarkSessionStep) and the artifact-loaded path
+# (BenchmarkSessionStepLoaded) — and fails if any sub-benchmark reports
+# more than 0 allocs/op: the zero-allocation guarantee README's Performance
+# section documents must hold for models loaded from artifacts exactly as
+# it does for freshly fitted ones.
 # Run via `make bench-smoke` (or `make ci`, which includes it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -11,7 +14,7 @@ cd "$(dirname "$0")/.."
 GO="${GO:-go}"
 BENCHTIME="${BENCHTIME:-10x}"
 
-out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep$' \
+out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep(Loaded)?$' \
 	-benchtime="$BENCHTIME" -benchmem ./safemon/)" || {
 	echo "$out"
 	echo "benchguard: benchmark run failed" >&2
@@ -32,4 +35,4 @@ echo "$out" | awk '
 	echo "benchguard: allocation budget exceeded on the session hot path" >&2
 	exit 1
 }
-echo "benchguard: all session-step benchmarks within the 0 allocs/op budget"
+echo "benchguard: all session-step benchmarks (fitted and loaded) within the 0 allocs/op budget"
