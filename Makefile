@@ -3,15 +3,20 @@
 #   make ci          - gofmt check, vet, build, tests (incl. the
 #                      train->save->load->serve lifecycle smoke), -race on
 #                      safemon+serve, fuzz-corpus replay, allocation
-#                      benchguard (tier-1 gate)
+#                      benchguard, closed-loop mitigation smoke (tier-1 gate)
 #   make train       - fit every backend and write versioned model artifacts
 #                      into ./models (serve them: safemond -model-dir ./models)
 #   make lifecycle-smoke - train->save->load->serve smoke test only: safemond
 #                      must answer streams from artifacts with zero Fit calls
 #   make bench       - one-iteration benchmark smoke incl. the serve path (perf trajectory capture)
 #   make bench-smoke - per-backend session-step benchmarks (fitted AND
-#                      artifact-loaded) with -benchmem, gated by
+#                      artifact-loaded) plus the guard policy engine's
+#                      BenchmarkGuardStep with -benchmem, gated by
 #                      scripts/benchguard.sh (0 allocs/op budget)
+#   make mitigate-smoke - tiny closed-loop reaction campaign: the guarded
+#                      context-aware monitor must prevent >=1 block-drop
+#                      hazard the unguarded baseline suffers, with zero
+#                      false stops on fault-free runs
 #   make bench-coldstart - per-backend fit-vs-load time-to-ready benchmarks
 #   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
 #   make fuzz        - actively fuzz the serve protocol parser and the model
@@ -24,9 +29,9 @@ GO ?= go
 TRAIN_FLAGS ?= -demos 16 -scale 0.5 -epochs 4 -stride 3
 
 .PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard \
-	bench-coldstart fuzz fuzz-replay train lifecycle-smoke
+	bench-coldstart fuzz fuzz-replay train lifecycle-smoke mitigate-smoke
 
-ci: fmtcheck vet build test race fuzz-replay bench-smoke
+ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke
 
 fmt:
 	gofmt -w .
@@ -76,6 +81,13 @@ train:
 lifecycle-smoke:
 	$(GO) test -run='^TestLifecycleSmoke$$' -count=1 -v ./cmd/safemond/
 
+# The closed-loop mitigation smoke: a tiny deterministic reaction campaign
+# (internal/mitigation) in which the guarded context-aware monitor must
+# prevent at least one block-drop hazard the unguarded baseline suffers
+# and engage zero stopping actions on fault-free trajectories.
+mitigate-smoke:
+	$(GO) test -run='^TestMitigateSmoke$$' -count=1 -v ./internal/mitigation/
+
 # Replay the checked-in fuzz seed corpora as plain tests (what CI runs):
 # the serve protocol parser plus the model artifact/manifest decoders.
 fuzz-replay:
@@ -87,3 +99,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLoadArtifact -fuzztime=30s ./safemon/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalEnvelope -fuzztime=30s ./safemon/
 	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=30s ./safemon/modelstore/
+	$(GO) test -run=^$$ -fuzz=FuzzParsePolicy -fuzztime=30s ./safemon/guard/

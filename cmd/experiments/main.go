@@ -11,9 +11,13 @@
 //
 // Beyond the paper, -run loadgen drives a safemond monitoring service with
 // concurrent NDJSON streaming clients (see -addr, -sessions, -backend),
-// and -run train fits detector backends and saves versioned model
-// artifacts into -model-dir for safemond to serve (see -backend,
-// -model-version); both are excluded from "all".
+// -run train fits detector backends and saves versioned model artifacts
+// into -model-dir for safemond to serve (see -backend, -model-version),
+// and -run mitigate runs the simulator-in-the-loop reaction campaign —
+// the fault-injection suite replayed unguarded vs. guarded (safemon/guard)
+// over identical worlds, reporting prevented / missed / false-stop counts
+// and detection-to-hazard latencies per backend (see -backend, -scale).
+// All three are excluded from "all".
 package main
 
 import (
@@ -52,6 +56,12 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	backendFlagSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "backend" {
+			backendFlagSet = true
+		}
+	})
 
 	opts := experiments.Options{Scale: experiments.Quick, Seed: *seed}
 	if *scale == "full" {
@@ -81,13 +91,22 @@ func run(args []string) error {
 		"train": func() (renderer, error) {
 			return runTrain(opts, trainOptions{modelDir: *modelDir, backends: *backend, version: *modelVersion})
 		},
+		"mitigate": func() (renderer, error) {
+			backends := *backend
+			if !backendFlagSet {
+				backends = "" // campaign default: context-aware + envelope
+			}
+			return runMitigate(opts, mitigateOptions{backends: backends})
+		},
 	}
 
 	names := []string{*runName}
 	if *runName == "all" {
 		names = names[:0]
 		for name := range runners {
-			if name == "loadgen" || name == "train" { // service drills, not paper artifacts
+			// Service drills and the mitigation campaign are not paper
+			// artifacts; run them explicitly.
+			if name == "loadgen" || name == "train" || name == "mitigate" {
 				continue
 			}
 			names = append(names, name)

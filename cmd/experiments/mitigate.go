@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/mitigation"
+	"repro/safemon"
+)
+
+// mitigateOptions carries the mitigate-mode flags.
+type mitigateOptions struct {
+	backends string // comma-separated or "" for the campaign default
+}
+
+// runMitigate drives the simulator-in-the-loop reaction campaign: the
+// fault-injection suite replayed unguarded and guarded over identical
+// worlds, reporting prevented / missed / false-stop counts and
+// detection-to-hazard latency quantiles per backend.
+func runMitigate(opts experiments.Options, mo mitigateOptions) (renderer, error) {
+	cfg := mitigation.CampaignConfig{
+		Seed:               opts.Seed,
+		GroundTruthContext: true,
+		// Quick scale mirrors the CI smoke; full scale runs the suite at
+		// campaign size.
+		TrainDemos: 6, TrainInjections: 12,
+		EvalInjections: 12, FaultFreeEval: 4,
+		Epochs: 4, TrainStride: 2,
+	}
+	if opts.Scale == experiments.Full {
+		cfg.TrainDemos, cfg.TrainInjections = 10, 40
+		cfg.EvalInjections, cfg.FaultFreeEval = 60, 10
+		cfg.Epochs, cfg.TrainStride = 8, 2
+	}
+	switch mo.backends {
+	case "":
+		// Campaign default (context-aware vs. envelope).
+	case "all":
+		cfg.Backends = safemon.Backends()
+	default:
+		cfg.Backends = strings.Split(mo.backends, ",")
+		for i := range cfg.Backends {
+			cfg.Backends[i] = strings.TrimSpace(cfg.Backends[i])
+		}
+	}
+	if opts.Verbose != nil {
+		cfg.Verbose = opts.Verbose
+	}
+	return mitigation.RunCampaign(context.Background(), cfg)
+}

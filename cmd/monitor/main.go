@@ -10,6 +10,13 @@
 //	monitor -task blocktransfer -threshold 0.6
 //	monitor -backend lookahead -workers 4
 //	monitor -backend envelope -threshold 0.2
+//	monitor -model-dir ./models -backend envelope   # serve a saved artifact
+//
+// With -model-dir the backend is reconstructed from the store's latest
+// versioned artifact (safemon.LoadDetector path, as safemond does) instead
+// of being refit on every run — the artifact must have been trained for
+// the selected task's feature layout (see `safemond -train-only` /
+// `experiments -run train`).
 package main
 
 import (
@@ -18,12 +25,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/gesture"
 	"repro/internal/stats"
 	"repro/internal/synth"
 	"repro/safemon"
+	"repro/safemon/modelstore"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func run(args []string) error {
 	groundTruth := fs.Bool("perfect", false, "use ground-truth gesture boundaries")
 	workers := fs.Int("workers", 1,
 		"evaluation workers (0 = GOMAXPROCS; >1 inflates the compute-time figure with scheduling contention)")
+	modelDir := fs.String("model-dir", "",
+		"versioned model store; load the backend's latest artifact instead of fitting (parity with safemond)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,9 +77,34 @@ func run(args []string) error {
 		opts = append(opts, safemon.WithGroundTruthContext())
 	}
 
-	det, err := safemon.Open(*backend, opts...)
-	if err != nil {
-		return err
+	// Model acquisition mirrors safemond: artifacts when -model-dir is
+	// set (millisecond load, zero Fit), in-process training otherwise.
+	var det safemon.Detector
+	var err error
+	loaded := false
+	if *modelDir != "" {
+		store, err := modelstore.Open(*modelDir)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		var m *modelstore.Manifest
+		det, m, err = store.Load(*backend, "")
+		if err != nil {
+			return fmt.Errorf("load %s from %s: %w", *backend, *modelDir, err)
+		}
+		loaded = true
+		fmt.Fprintf(os.Stderr, "loaded %s model %s from %s in %s (no training)\n",
+			*backend, m.Version, *modelDir, time.Since(start).Round(time.Millisecond))
+		// The artifact carries its own training configuration; the
+		// detector-shaping flags only apply to the fit path.
+		fmt.Fprintf(os.Stderr, "note: -threshold/-perfect/-seed and per-task feature options come from the artifact; "+
+			"compute-time reporting is off on the artifact path\n")
+	} else {
+		det, err = safemon.Open(*backend, opts...)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "generating %d %v demonstrations...\n", *demos, task)
@@ -82,9 +118,11 @@ func run(args []string) error {
 	folds := dataset.LOSO(synth.Trajectories(set))
 	fold := folds[len(folds)-1]
 
-	fmt.Fprintf(os.Stderr, "fitting %s backend on %d demos...\n", *backend, len(fold.Train))
-	if err := det.Fit(ctx, fold.Train); err != nil {
-		return err
+	if !loaded {
+		fmt.Fprintf(os.Stderr, "fitting %s backend on %d demos...\n", *backend, len(fold.Train))
+		if err := det.Fit(ctx, fold.Train); err != nil {
+			return err
+		}
 	}
 
 	target := fold.Test[0]

@@ -22,11 +22,17 @@
 //	safemond -train-only -model-dir ./models -backends all
 //	safemond -addr :8080 -model-dir ./models -backends all
 //	safemond -addr :8080 -backends envelope,context-aware   # fit at startup
+//	safemond -addr :8080 -policies policies.json            # guarded streams
 //
-// Endpoints: POST /v1/stream?backend=NAME (NDJSON duplex), GET
-// /v1/backends, GET /v1/models, POST /v1/models/reload, GET /stats, GET
-// /healthz. See the serve package docs for the wire protocol.
-// SIGINT/SIGTERM drains in-flight streams before exit.
+// With -policies, the config file ({"policies":[...]}; see safemon/guard)
+// is validated at startup and streams may opt into closed-loop mitigation
+// with ?policy=NAME: guard action records are interleaved into the
+// verdict stream and mitigation counters appear under /stats.
+//
+// Endpoints: POST /v1/stream?backend=NAME[&policy=NAME] (NDJSON duplex),
+// GET /v1/backends, GET /v1/models, POST /v1/models/reload, GET
+// /v1/policies, GET /stats, GET /healthz. See the serve package docs for
+// the wire protocol. SIGINT/SIGTERM drains in-flight streams before exit.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"repro/internal/gesture"
 	"repro/internal/synth"
 	"repro/safemon"
+	"repro/safemon/guard"
 	"repro/safemon/modelstore"
 	"repro/safemon/serve"
 )
@@ -178,6 +185,7 @@ func run(args []string) error {
 	backends := fs.String("backends", "envelope,context-aware",
 		"comma-separated backends to serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
 	modelDir := fs.String("model-dir", "", "versioned model store; serve its artifacts instead of fitting at startup (SIGHUP hot-swaps to new versions)")
+	policyFile := fs.String("policies", "", "guard policy config file (JSON: {\"policies\":[...]}); streams opt in with ?policy=NAME")
 	trainOnly := fs.Bool("train-only", false, "fit the backends, save artifacts into -model-dir, and exit")
 	modelVersion := fs.String("model-version", "", "version for -train-only artifacts (empty = next sequential)")
 	shards := fs.Int("shards", 0, "session-manager shards (0 = serve default)")
@@ -200,6 +208,27 @@ func run(args []string) error {
 		names = strings.Split(*backends, ",")
 	}
 	ctx := context.Background()
+
+	// Guard policies are validated before anything trains or serves: a
+	// typo in a safety policy must kill the daemon at startup, not
+	// surface as a 404 under live traffic.
+	var policies []guard.Policy
+	if *policyFile != "" {
+		data, err := os.ReadFile(*policyFile)
+		if err != nil {
+			return fmt.Errorf("read policies: %w", err)
+		}
+		policies, err = guard.ParsePolicies(data)
+		if err != nil {
+			return fmt.Errorf("policies %s: %w", *policyFile, err)
+		}
+		policyNames := make([]string, 0, len(policies))
+		for _, p := range policies {
+			policyNames = append(policyNames, p.Name)
+		}
+		log.Printf("loaded %d guard policies from %s: %s",
+			len(policies), *policyFile, strings.Join(policyNames, ", "))
+	}
 
 	// Offline training mode: fit, persist artifacts, exit.
 	if *trainOnly {
@@ -293,6 +322,7 @@ func run(args []string) error {
 		cfg.Detectors = detectors
 	}
 
+	cfg.Policies = policies
 	cfg.Manager = serve.ManagerConfig{
 		Shards:         *shards,
 		MailboxDepth:   *mailbox,

@@ -1,0 +1,444 @@
+package mitigation
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+	"repro/safemon"
+	"repro/safemon/guard"
+)
+
+// CampaignConfig controls a simulator-in-the-loop reaction campaign: the
+// fault-injection suite replayed twice per injection — open loop
+// (unguarded baseline) and closed loop (guarded) — over identical worlds,
+// so the only difference between the two runs is the mitigation.
+type CampaignConfig struct {
+	// Seed drives every random choice (demos, faults, world physics);
+	// campaigns are bit-reproducible.
+	Seed int64
+	// Hz is the command rate and the monitor rate: the closed loop runs
+	// the detector at simulation rate (default 30).
+	Hz float64
+	// Backends are the detector backends to campaign (default
+	// context-aware and envelope — the paper's headline contrast).
+	Backends []string
+	// Policy is the guard policy every backend runs (zero value: the
+	// campaign default, see CampaignPolicy).
+	Policy guard.Policy
+	// GroundTruthContext selects the paper's perfect-boundary mode for
+	// backends that support it; the command stream's gesture labels are
+	// forwarded to every session either way.
+	GroundTruthContext bool
+	// TrainDemos fault-free demonstrations are executed open loop and
+	// used (plus TrainInjections injected runs) to fit each backend
+	// (default 8).
+	TrainDemos int
+	// TrainInjections injected executed runs are added to the training
+	// set (default 24).
+	TrainInjections int
+	// EvalInjections is the number of paired baseline/guarded injection
+	// runs per backend (default 24).
+	EvalInjections int
+	// FaultFreeEval is the number of held-out fault-free guarded runs
+	// per backend, the false-stop denominator (default 6).
+	FaultFreeEval int
+	// Epochs / TrainStride override training effort (quick campaigns).
+	Epochs      int
+	TrainStride int
+	// Threshold is the detector-side alert threshold (default 0.5).
+	Threshold float64
+	// Verbose receives progress lines when non-nil.
+	Verbose func(string)
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Hz <= 0 {
+		c.Hz = 30
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []string{"context-aware", "envelope"}
+	}
+	if c.Policy.Threshold == 0 && c.Policy.Name == "" {
+		c.Policy = CampaignPolicy()
+	}
+	if c.TrainDemos <= 0 {
+		c.TrainDemos = 8
+	}
+	if c.TrainInjections <= 0 {
+		c.TrainInjections = 24
+	}
+	if c.EvalInjections <= 0 {
+		c.EvalInjections = 24
+	}
+	if c.FaultFreeEval <= 0 {
+		c.FaultFreeEval = 6
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	return c
+}
+
+// CampaignPolicy is the campaign's reference guard policy: a 12-frame
+// warmup (the window-10 monitors score on partial windows at stream
+// start), confirm after 2 consecutive evidence frames, escalate one rung
+// per further evidence frame up to SafeStop, panic on near-certain
+// scores, and budget 10 frames (333 ms at 30 Hz) from alert to stop.
+//
+// The thresholds are context-aware: the strict default applies to the
+// carry gestures where a jaw fault drops the block, while the pre-grasp
+// reach gestures (G2, G12 — no block held, and their error heads train
+// without unsafe examples in this task) and the intentional G11 jaw
+// opening require near-certain evidence.
+func CampaignPolicy() guard.Policy {
+	return guard.Policy{
+		Name:      "mitigate-default",
+		Threshold: 0.5,
+		GestureThresholds: map[int]float64{
+			int(gesture.G2):  0.9,
+			int(gesture.G12): 0.9,
+			int(gesture.G11): 0.8,
+		},
+		WarmupFrames:         12,
+		DebounceFrames:       2,
+		ReleaseFrames:        6,
+		EscalateFrames:       1,
+		InitialAction:        guard.ActionWarn,
+		MaxAction:            guard.ActionSafeStop,
+		PanicScore:           0.95,
+		ReactionBudgetFrames: 10,
+	}
+}
+
+// BackendReport aggregates one backend's campaign outcome — the
+// prevented / missed / false-stop ledger of the closed loop.
+type BackendReport struct {
+	Backend      string
+	TrainSeconds float64
+
+	// Injections is the number of paired eval runs; BaselineDrops of
+	// them suffered a block-drop hazard open loop.
+	Injections    int
+	BaselineDrops int
+	// Prevented counts baseline block-drops the guarded twin avoided;
+	// Missed counts those it suffered anyway.
+	Prevented int
+	Missed    int
+	// Stops counts guarded injection runs on which a stopping action
+	// engaged; Alerts counts those with any confirmed alert.
+	Stops  int
+	Alerts int
+
+	// FaultFreeRuns guarded fault-free runs produced FalseStops stopping
+	// actions and FalseAlerts confirmed alerts.
+	FaultFreeRuns int
+	FalseStops    int
+	FalseAlerts   int
+
+	// WarningMS are detection-to-hazard latencies: the gap between the
+	// first confirmed alert and the baseline twin's drop frame, in ms
+	// (negative = the alert came after the hazard instant). One entry
+	// per baseline drop with a guarded alert.
+	WarningMS []float64
+	// StopLatencyFrames are alert→stop gaps on guarded runs that
+	// stopped; WithinBudget counts those within the policy's
+	// ReactionBudgetFrames.
+	StopLatencyFrames []int
+	WithinBudget      int
+}
+
+// PreventedRate is the fraction of baseline hazards the guard prevented.
+func (r *BackendReport) PreventedRate() float64 {
+	if r.BaselineDrops == 0 {
+		return 0
+	}
+	return float64(r.Prevented) / float64(r.BaselineDrops)
+}
+
+// CampaignResult is the full reaction-campaign outcome.
+type CampaignResult struct {
+	Hz      float64
+	Policy  guard.Policy
+	Reports []BackendReport
+}
+
+// RunCampaign executes the reaction campaign. Everything is derived from
+// cfg.Seed: the same config always produces the same ledger.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	cfg = cfg.withDefaults()
+	// Resolve the policy exactly as the engines will run it, so the
+	// budget accounting and the rendered header report the effective
+	// knobs, not zero-valued ones — and an invalid policy fails here,
+	// not on the first session open.
+	eng, err := guard.NewEngine(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("mitigation: %w", err)
+	}
+	cfg.Policy = eng.Policy()
+	logf := func(format string, args ...any) {
+		if cfg.Verbose != nil {
+			cfg.Verbose(fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Fault-free command streams: the first TrainDemos train, the rest
+	// are the held-out false-stop probes.
+	demos := simulator.CollectFaultFree(cfg.Seed+1, cfg.TrainDemos+cfg.FaultFreeEval, 2, cfg.Hz)
+	trainDemos := demos[:cfg.TrainDemos]
+	probeDemos := demos[cfg.TrainDemos:]
+
+	// Executed training set: open-loop runs of the fault-free demos plus
+	// injected runs, all at monitor rate with command-side safety labels.
+	trainSet, err := buildTrainSet(cfg, trainDemos)
+	if err != nil {
+		return nil, err
+	}
+	logf("training set: %d executed runs (%d fault-free, %d injected) at %.0f Hz",
+		len(trainSet), len(trainDemos), cfg.TrainInjections, cfg.Hz)
+
+	// Pre-sample the eval faults once so every backend faces the same
+	// injection suite over the same worlds.
+	evalRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	type evalCase struct {
+		perturbed *kinematics.Trajectory
+		worldSeed int64
+	}
+	evalCases := make([]evalCase, 0, cfg.EvalInjections)
+	for k := 0; k < cfg.EvalInjections; k++ {
+		demo := trainDemos[evalRng.Intn(len(trainDemos))]
+		perturbed, err := injectFault(evalRng, demo, evalFault(evalRng))
+		if err != nil {
+			return nil, err
+		}
+		evalCases = append(evalCases, evalCase{perturbed: perturbed, worldSeed: cfg.Seed*10007 + int64(k)})
+	}
+
+	res := &CampaignResult{Hz: cfg.Hz, Policy: cfg.Policy}
+	for _, backend := range cfg.Backends {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		det, err := campaignDetector(backend, cfg)
+		if err != nil {
+			return nil, err
+		}
+		logf("fitting %s on %d runs...", backend, len(trainSet))
+		start := time.Now()
+		if err := det.Fit(ctx, trainSet); err != nil {
+			return nil, fmt.Errorf("mitigation: fit %s: %w", backend, err)
+		}
+		rep := BackendReport{Backend: backend, TrainSeconds: time.Since(start).Seconds()}
+
+		// Paired injection runs: open loop vs. closed loop on identical
+		// worlds — the only delta is the guard.
+		for _, ec := range evalCases {
+			baseline := simulator.NewWorld(rand.New(rand.NewSource(ec.worldSeed))).Run(ec.perturbed, 0)
+			guarded, err := guardedRun(det, cfg, ec.perturbed, ec.worldSeed)
+			if err != nil {
+				return nil, fmt.Errorf("mitigation: %s guarded run: %w", backend, err)
+			}
+			rep.Injections++
+			if guarded.AlertFrame >= 0 {
+				rep.Alerts++
+			}
+			if guarded.Stopped() {
+				rep.Stops++
+				// Latency anchors on the stop's own episode: an earlier
+				// warn that released must not inflate the gap.
+				lat := guarded.FirstStopFrame - guarded.StopAlertFrame
+				rep.StopLatencyFrames = append(rep.StopLatencyFrames, lat)
+				if lat <= cfg.Policy.ReactionBudgetFrames {
+					rep.WithinBudget++
+				}
+			}
+			// A grip-failure drop (DropFrame >= 0) is the hazard,
+			// whatever the landing spot classified as; an intentional
+			// release (even at the wrong position) is not.
+			if baseline.DropFrame >= 0 {
+				rep.BaselineDrops++
+				if guarded.Result.DropFrame >= 0 {
+					rep.Missed++
+				} else {
+					rep.Prevented++
+				}
+				if guarded.AlertFrame >= 0 {
+					warning := float64(baseline.DropFrame-guarded.AlertFrame) / cfg.Hz * 1000
+					rep.WarningMS = append(rep.WarningMS, warning)
+				}
+			}
+		}
+
+		// Held-out fault-free runs: any stopping action is a false stop.
+		for p, probe := range probeDemos {
+			worldSeed := cfg.Seed*20011 + int64(p)
+			guarded, err := guardedRun(det, cfg, probe, worldSeed)
+			if err != nil {
+				return nil, fmt.Errorf("mitigation: %s fault-free run: %w", backend, err)
+			}
+			rep.FaultFreeRuns++
+			if guarded.Stopped() {
+				rep.FalseStops++
+			}
+			if guarded.AlertFrame >= 0 {
+				rep.FalseAlerts++
+			}
+		}
+		logf("%s: %d/%d hazards prevented, %d false stops on %d fault-free runs",
+			backend, rep.Prevented, rep.BaselineDrops, rep.FalseStops, rep.FaultFreeRuns)
+		res.Reports = append(res.Reports, rep)
+	}
+	return res, nil
+}
+
+// buildTrainSet executes the fault-free demos plus sampled injections
+// open loop, yielding the labeled training trajectories.
+func buildTrainSet(cfg CampaignConfig, trainDemos []*kinematics.Trajectory) ([]*kinematics.Trajectory, error) {
+	trainRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	var trainSet []*kinematics.Trajectory
+	for _, demo := range trainDemos {
+		world := simulator.NewWorld(trainRng)
+		trainSet = append(trainSet, world.Run(demo, 0).Traj)
+	}
+	for k := 0; k < cfg.TrainInjections; k++ {
+		demo := trainDemos[trainRng.Intn(len(trainDemos))]
+		perturbed, err := injectFault(trainRng, demo, trainFault(trainRng))
+		if err != nil {
+			return nil, err
+		}
+		world := simulator.NewWorld(trainRng)
+		trainSet = append(trainSet, world.Run(perturbed, 0).Traj)
+	}
+	return trainSet, nil
+}
+
+// campaignDetector builds an unfitted detector configured for Block
+// Transfer monitoring at simulation rate.
+func campaignDetector(backend string, cfg CampaignConfig) (safemon.Detector, error) {
+	opts := []safemon.Option{
+		safemon.WithThreshold(cfg.Threshold),
+		safemon.WithSeed(cfg.Seed),
+		safemon.WithFeatures(safemon.CG()),
+		safemon.WithErrorFeatures(safemon.CG()),
+		safemon.WithWindow(10),
+	}
+	if cfg.GroundTruthContext {
+		opts = append(opts, safemon.WithGroundTruthContext())
+	}
+	if cfg.Epochs > 0 {
+		opts = append(opts, safemon.WithEpochs(cfg.Epochs))
+	}
+	if cfg.TrainStride > 0 {
+		opts = append(opts, safemon.WithTrainStride(cfg.TrainStride))
+	}
+	return safemon.Open(backend, opts...)
+}
+
+// guardedRun executes one closed-loop episode on a fresh world seeded
+// identically to its open-loop twin.
+func guardedRun(det safemon.Detector, cfg CampaignConfig, commands *kinematics.Trajectory, worldSeed int64) (*GuardedResult, error) {
+	sess, err := det.NewSession(
+		safemon.WithSessionLabels(commands.Gestures),
+		safemon.WithGuard(cfg.Policy),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	gsess, ok := sess.(safemon.GuardedSession)
+	if !ok {
+		return nil, fmt.Errorf("mitigation: session is not guarded")
+	}
+	world := simulator.NewWorld(rand.New(rand.NewSource(worldSeed)))
+	return RunGuarded(world, commands, gsess, GuardedRunConfig{})
+}
+
+// trainFault samples a training-set fault: the full hazard spectrum,
+// including sub-critical targets, so detectors learn the boundary.
+func trainFault(rng *rand.Rand) faultinject.Fault {
+	return faultinject.Fault{
+		Variable:    faultinject.GrasperAngle,
+		Target:      0.85 + rng.Float64()*0.75, // 0.85 – 1.60 rad
+		StartFrac:   faultinject.InjectionStartFrac,
+		Duration:    0.50 + rng.Float64()*0.35,
+		Manipulator: kinematics.Left,
+	}
+}
+
+// evalFault samples an eval fault from the hazard-prone band (Table III's
+// high-drop-rate cells), so the paired runs measure reaction, not luck.
+func evalFault(rng *rand.Rand) faultinject.Fault {
+	return faultinject.Fault{
+		Variable:    faultinject.GrasperAngle,
+		Target:      1.00 + rng.Float64()*0.55, // 1.00 – 1.55 rad
+		StartFrac:   faultinject.InjectionStartFrac,
+		Duration:    0.55 + rng.Float64()*0.30,
+		Manipulator: kinematics.Left,
+	}
+}
+
+// injectFault applies the grasper fault and, with 30% probability, a
+// small Cartesian deviation on top (the paper's combined perturbations).
+func injectFault(rng *rand.Rand, demo *kinematics.Trajectory, f faultinject.Fault) (*kinematics.Trajectory, error) {
+	perturbed, _, _, err := faultinject.Inject(demo, f)
+	if err != nil {
+		return nil, err
+	}
+	if rng.Float64() < 0.3 {
+		cf := faultinject.Fault{
+			Variable:    faultinject.CartesianPosition,
+			Target:      0.005 + rng.Float64()*0.02,
+			StartFrac:   faultinject.InjectionStartFrac,
+			Duration:    0.4 + rng.Float64()*0.2,
+			Manipulator: kinematics.Left,
+		}
+		perturbed, _, _, err = faultinject.Inject(perturbed, cf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perturbed, nil
+}
+
+// quantile returns the q-th (0..1) sample quantile of xs (nearest rank),
+// 0 when empty.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// Render prints the campaign ledger, Table-style: one row per backend
+// with the prevented / missed / false-stop counts and the
+// detection-to-hazard latency quantiles.
+func (r *CampaignResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reaction campaign — policy %q (debounce %d, escalate %d, max %s, budget %d frames @ %.0f Hz)\n",
+		r.Policy.Name, r.Policy.DebounceFrames, r.Policy.EscalateFrames,
+		r.Policy.MaxAction, r.Policy.ReactionBudgetFrames, r.Hz)
+	fmt.Fprintf(&b, "%-14s %5s %6s %9s %7s %6s %11s %11s %11s %10s %7s\n",
+		"Backend", "#Inj", "Drops", "Prevented", "Missed", "Stops",
+		"FalseStops", "Warn p50ms", "Warn p90ms", "Stop<=bud", "Fit(s)")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, "%-14s %5d %6d %4d (%3.0f%%) %7d %6d %6d/%-4d %11.0f %11.0f %6d/%-3d %7.1f\n",
+			rep.Backend, rep.Injections, rep.BaselineDrops,
+			rep.Prevented, 100*rep.PreventedRate(), rep.Missed, rep.Stops,
+			rep.FalseStops, rep.FaultFreeRuns,
+			quantile(rep.WarningMS, 0.50), quantile(rep.WarningMS, 0.90),
+			rep.WithinBudget, rep.Stops, rep.TrainSeconds)
+	}
+	b.WriteString("Warn = detection-to-hazard latency (first alert to the unguarded twin's drop frame; larger = earlier warning).\n")
+	b.WriteString("Stop<=bud = guarded stops engaged within the policy's reaction budget of the alert.\n")
+	return b.String()
+}

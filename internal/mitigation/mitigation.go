@@ -1,0 +1,198 @@
+// Package mitigation closes the loop between the safety monitor and the
+// Block Transfer simulator: a guarded session's mitigation decisions
+// (safemon/guard) are actuated into the command stream *while the
+// simulated episode runs*, so a confirmed detection can prevent the
+// hazard instead of merely annotating it. This is the paper's headline
+// scenario made measurable — RunGuarded is one closed-loop episode, and
+// the campaign (campaign.go) replays the fault-injection suite guarded
+// vs. unguarded to count prevented / missed / false-stop outcomes and
+// detection-to-hazard latencies per backend.
+package mitigation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+	"repro/safemon"
+	"repro/safemon/guard"
+)
+
+// GuardedRunConfig tunes how mitigation actions are actuated into the
+// simulator's command stream.
+type GuardedRunConfig struct {
+	// Manipulator is the actuated arm (default Left, the carrying arm).
+	Manipulator kinematics.Manipulator
+	// HoldAngle is the grasper clamp applied under SafeStop and Retract;
+	// it must sit safely below the simulator's slip region (default 0.9 ×
+	// simulator.HoldAngle).
+	HoldAngle float64
+	// RetractPose is where ActionRetract withdraws toward (default: a
+	// hover pose above the block start).
+	RetractPose [3]float64
+	// RetractSpeed is the withdrawal speed in m/s (default 0.05).
+	RetractSpeed float64
+	// CameraFPS enables the virtual camera when > 0.
+	CameraFPS float64
+}
+
+func (c GuardedRunConfig) withDefaults() GuardedRunConfig {
+	if c.Manipulator == 0 {
+		c.Manipulator = kinematics.Left
+	}
+	if c.HoldAngle <= 0 {
+		c.HoldAngle = 0.9 * simulator.HoldAngle
+	}
+	if c.RetractPose == ([3]float64{}) {
+		c.RetractPose = [3]float64{simulator.BlockStart[0], simulator.BlockStart[1], 0.04}
+	}
+	if c.RetractSpeed <= 0 {
+		c.RetractSpeed = 0.05
+	}
+	return c
+}
+
+// Transition is one mitigation-level edge during a guarded run.
+type Transition struct {
+	// Frame is the kinematics frame at which the engine switched.
+	Frame int
+	// Action is the level in force from this frame on.
+	Action guard.Action
+	// Score is the verdict score that produced the edge.
+	Score float64
+}
+
+// GuardedResult is the outcome of one closed-loop episode.
+type GuardedResult struct {
+	// Result is the simulator ground truth of the guarded run.
+	Result *simulator.Result
+	// AlertFrame is the first confirmed alert (-1 when the guard never
+	// alerted).
+	AlertFrame int
+	// FirstStopFrame is the first frame on which a stopping action
+	// (Pause or stronger) was decided, -1 when none engaged; actuation
+	// begins on the following command frame (one-frame reaction latency).
+	FirstStopFrame int
+	// StopAlertFrame is the confirmed-alert frame of the episode that
+	// produced the first stop (-1 when none engaged) — the anchor for
+	// alert-to-stop latency. It can differ from AlertFrame when an
+	// earlier episode warned and was released before the stop.
+	StopAlertFrame int
+	// MaxAction is the strongest level reached.
+	MaxAction guard.Action
+	// Transitions lists every mitigation edge in order.
+	Transitions []Transition
+	// Counters is the engine's activity over the run.
+	Counters guard.Counters
+}
+
+// Stopped reports whether the guard interfered with the commanded motion.
+func (r *GuardedResult) Stopped() bool { return r.FirstStopFrame >= 0 }
+
+// RunGuarded executes one closed-loop episode: each command frame is
+// (possibly) rewritten according to the mitigation level in force, the
+// world executes it, the executed frame streams through the guarded
+// session, and the session's decision governs the *next* frame — a
+// one-frame sense→decide→act latency, the honest price of reacting.
+//
+// The session must have been opened with safemon.WithGuard (and
+// WithSessionLabels when the backend needs ground-truth context). The
+// world must be fresh; commands are not modified.
+func RunGuarded(world *simulator.World, commands *kinematics.Trajectory, sess safemon.GuardedSession, cfg GuardedRunConfig) (*GuardedResult, error) {
+	cfg = cfg.withDefaults()
+	if commands.HzRate <= 0 {
+		return nil, fmt.Errorf("mitigation: command stream has no sample rate")
+	}
+	dt := 1 / commands.HzRate
+	res := &GuardedResult{AlertFrame: -1, FirstStopFrame: -1, StopAlertFrame: -1}
+
+	ep := world.Begin(commands, cfg.CameraFPS)
+	cur := guard.Decision{AlertFrame: -1}
+	var frozen kinematics.Frame // pose captured when a stop engaged
+	var prevExec kinematics.Frame
+	havePrev := false
+
+	for ep.More() {
+		i := ep.Index()
+		var override *kinematics.Frame
+		if cur.Action.Stops() {
+			f := commands.Frames[i] // copy; the original stream stays intact
+			actuate(&f, cur.Action, &frozen, &prevExec, havePrev, dt, cfg)
+			override = &f
+		}
+		ev := ep.Step(override)
+
+		if _, err := sess.Push(ev.Executed); err != nil {
+			return nil, fmt.Errorf("mitigation: frame %d: %w", i, err)
+		}
+		d := sess.Decision()
+		if d.Changed {
+			res.Transitions = append(res.Transitions, Transition{Frame: i, Action: d.Action, Score: d.Score})
+			if d.Action.Stops() && !cur.Action.Stops() {
+				// Capture the hold pose at the stop edge: the executed
+				// frame the robot is actually at, not the (possibly
+				// faulty) command.
+				frozen = *ev.Executed
+				if res.FirstStopFrame < 0 {
+					res.FirstStopFrame = i
+					res.StopAlertFrame = d.AlertFrame
+				}
+			}
+		}
+		if res.AlertFrame < 0 && d.AlertFrame >= 0 {
+			res.AlertFrame = d.AlertFrame
+		}
+		if d.Action > res.MaxAction {
+			res.MaxAction = d.Action
+		}
+		cur = d
+		prevExec = *ev.Executed
+		havePrev = true
+	}
+	res.Result = ep.Finish()
+	res.Counters = sess.GuardCounters()
+	return res, nil
+}
+
+// actuate rewrites one command frame according to the mitigation level.
+// Pause holds the captured pose; SafeStop additionally clamps the grasper
+// to the safe hold angle; Retract withdraws toward the retract pose with
+// the grasper clamped. Linear velocity of the actuated arm is recomputed
+// from the previous executed frame so the kinematic features stay
+// self-consistent.
+func actuate(f *kinematics.Frame, action guard.Action, frozen, prevExec *kinematics.Frame, havePrev bool, dt float64, cfg GuardedRunConfig) {
+	m := cfg.Manipulator
+	fx, fy, fz := frozen.Cartesian(m)
+	switch action {
+	case guard.ActionPause:
+		f.SetCartesian(m, fx, fy, fz)
+		f.SetGrasperAngle(m, frozen.GrasperAngle(m))
+	case guard.ActionSafeStop:
+		f.SetCartesian(m, fx, fy, fz)
+		f.SetGrasperAngle(m, math.Min(frozen.GrasperAngle(m), cfg.HoldAngle))
+	case guard.ActionRetract:
+		// Move from the current pose toward the retract pose at the
+		// configured speed, jaw clamped.
+		cx, cy, cz := fx, fy, fz
+		if havePrev {
+			cx, cy, cz = prevExec.Cartesian(m)
+		}
+		dx, dy, dz := cfg.RetractPose[0]-cx, cfg.RetractPose[1]-cy, cfg.RetractPose[2]-cz
+		dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		step := cfg.RetractSpeed * dt
+		if dist > step && dist > 0 {
+			scale := step / dist
+			dx, dy, dz = dx*scale, dy*scale, dz*scale
+		}
+		f.SetCartesian(m, cx+dx, cy+dy, cz+dz)
+		f.SetGrasperAngle(m, math.Min(frozen.GrasperAngle(m), cfg.HoldAngle))
+	}
+	if havePrev {
+		px, py, pz := prevExec.Cartesian(m)
+		nx, ny, nz := f.Cartesian(m)
+		f.SetLinearVelocity(m, (nx-px)/dt, (ny-py)/dt, (nz-pz)/dt)
+	} else {
+		f.SetLinearVelocity(m, 0, 0, 0)
+	}
+}

@@ -1,0 +1,191 @@
+package simulator_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/kinematics"
+	"repro/internal/simulator"
+)
+
+// runViaSteps replays commands through the stepping API with no overrides,
+// cross-checking the per-tick events against the accumulated result.
+func runViaSteps(t *testing.T, w *simulator.World, commands *kinematics.Trajectory, cameraFPS float64) *simulator.Result {
+	t.Helper()
+	ep := w.Begin(commands, cameraFPS)
+	dropAt, releaseAt := -1, -1
+	for ep.More() {
+		i := ep.Index()
+		ev := ep.Step(nil)
+		if ev.Index != i {
+			t.Fatalf("StepEvent.Index = %d, want %d", ev.Index, i)
+		}
+		if ev.Dropped {
+			dropAt = ev.Index
+		}
+		if ev.Released {
+			releaseAt = ev.Index
+		}
+		if ev.Executed == nil {
+			t.Fatalf("frame %d: nil Executed", i)
+		}
+	}
+	res := ep.Finish()
+	if res.DropFrame != dropAt {
+		t.Errorf("DropFrame = %d, but Dropped event fired at %d", res.DropFrame, dropAt)
+	}
+	if res.ReleaseFrame != releaseAt {
+		t.Errorf("ReleaseFrame = %d, but Released event fired at %d", res.ReleaseFrame, releaseAt)
+	}
+	return res
+}
+
+// sameResult asserts two simulator results are bit-identical.
+func sameResult(t *testing.T, name string, run, stepped *simulator.Result) {
+	t.Helper()
+	if run.Outcome != stepped.Outcome {
+		t.Errorf("%s: outcome %v (Run) vs %v (Step)", name, run.Outcome, stepped.Outcome)
+	}
+	if run.DropFrame != stepped.DropFrame || run.ReleaseFrame != stepped.ReleaseFrame {
+		t.Errorf("%s: drop/release %d/%d (Run) vs %d/%d (Step)",
+			name, run.DropFrame, run.ReleaseFrame, stepped.DropFrame, stepped.ReleaseFrame)
+	}
+	if !reflect.DeepEqual(run.Traj, stepped.Traj) {
+		t.Errorf("%s: executed trajectories differ", name)
+	}
+	if !reflect.DeepEqual(run.FrameTimes, stepped.FrameTimes) {
+		t.Errorf("%s: camera frame times differ: %v vs %v", name, run.FrameTimes, stepped.FrameTimes)
+	}
+	if len(run.Frames) != len(stepped.Frames) {
+		t.Fatalf("%s: %d camera frames (Run) vs %d (Step)", name, len(run.Frames), len(stepped.Frames))
+	}
+	for i := range run.Frames {
+		if !reflect.DeepEqual(run.Frames[i].Pix, stepped.Frames[i].Pix) {
+			t.Errorf("%s: camera frame %d pixels differ", name, i)
+		}
+	}
+}
+
+// TestEpisodeStepMatchesRun is the characterization test of the World.Run
+// → Episode refactor: stepping every frame with no override must be
+// bit-identical to Run — executed trajectory, labels, outcome, drop and
+// release frames, and rendered camera frames — on fault-free and
+// fault-injected command streams alike.
+func TestEpisodeStepMatchesRun(t *testing.T) {
+	const hz = 125.0
+	demos := simulator.CollectFaultFree(11, 3, 2, hz)
+
+	cases := []struct {
+		name     string
+		commands *kinematics.Trajectory
+	}{
+		{"fault-free", demos[0]},
+	}
+	// A jaw-open fault that drops the block, and a clamp fault that
+	// smothers the release (dropoff): both ground-truth paths covered.
+	for _, f := range []struct {
+		name  string
+		fault faultinject.Fault
+	}{
+		{"jaw-open-drop", faultinject.Fault{
+			Variable: faultinject.GrasperAngle, Target: 1.5,
+			StartFrac: 0.35, Duration: 0.4, Manipulator: kinematics.Left,
+		}},
+		{"jaw-clamped-dropoff", faultinject.Fault{
+			Variable: faultinject.GrasperAngle, Target: 0.25,
+			StartFrac: 0.35, Duration: 0.63, Manipulator: kinematics.Left,
+		}},
+		{"cartesian-deviation", faultinject.Fault{
+			Variable: faultinject.CartesianPosition, Target: 0.02,
+			StartFrac: 0.4, Duration: 0.5, Manipulator: kinematics.Left,
+		}},
+	} {
+		perturbed, _, _, err := faultinject.Inject(demos[1], f.fault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, struct {
+			name     string
+			commands *kinematics.Trajectory
+		}{f.name, perturbed})
+	}
+
+	sawDrop := false
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Identical worlds: same rng seed gives the same slip physics
+			// and the same tumble draw.
+			runRes := simulator.NewWorld(rand.New(rand.NewSource(77))).Run(tc.commands, 30)
+			stepRes := runViaSteps(t, simulator.NewWorld(rand.New(rand.NewSource(77))), tc.commands, 30)
+			sameResult(t, tc.name, runRes, stepRes)
+			if runRes.Outcome == simulator.BlockDropFailure {
+				sawDrop = true
+			}
+		})
+	}
+	if !sawDrop {
+		t.Error("no case exercised the block-drop path; fault parameters need retuning")
+	}
+}
+
+// TestEpisodeOverrideChangesPhysics pins that an override actually reaches
+// the physics: clamping the commanded jaw angle below the slip threshold
+// during a jaw-open fault prevents the drop that the open-loop replay of
+// the same world suffers.
+func TestEpisodeOverrideChangesPhysics(t *testing.T) {
+	const hz = 125.0
+	demo := simulator.CollectFaultFree(11, 2, 2, hz)[1]
+	perturbed, _, _, err := faultinject.Inject(demo, faultinject.Fault{
+		Variable: faultinject.GrasperAngle, Target: 1.5,
+		StartFrac: 0.35, Duration: 0.4, Manipulator: kinematics.Left,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := simulator.NewWorld(rand.New(rand.NewSource(9))).Run(perturbed, 0)
+	if base.Outcome != simulator.BlockDropFailure {
+		t.Fatalf("baseline outcome = %v, want block-drop", base.Outcome)
+	}
+
+	// Clamp the jaw to a safe hold angle from just before the fault
+	// window: the slip never starts.
+	ep := simulator.NewWorld(rand.New(rand.NewSource(9))).Begin(perturbed, 0)
+	clampFrom := int(0.3 * float64(len(perturbed.Frames)))
+	for ep.More() {
+		if ep.Index() < clampFrom {
+			ep.Step(nil)
+			continue
+		}
+		f := perturbed.Frames[ep.Index()]
+		if f.GrasperAngle(kinematics.Left) > 0.4 {
+			f.SetGrasperAngle(kinematics.Left, 0.4)
+		}
+		ep.Step(&f)
+	}
+	guarded := ep.Finish()
+	if guarded.Outcome == simulator.BlockDropFailure {
+		t.Fatalf("guarded outcome = %v; the override did not reach the physics", guarded.Outcome)
+	}
+	if guarded.DropFrame != -1 {
+		t.Errorf("guarded DropFrame = %d, want -1", guarded.DropFrame)
+	}
+}
+
+// TestEpisodeStepPastEndPanics pins the misuse guard.
+func TestEpisodeStepPastEndPanics(t *testing.T) {
+	demo := simulator.CollectFaultFree(3, 1, 1, 125)[0]
+	ep := simulator.NewWorld(rand.New(rand.NewSource(1))).Begin(demo, 0)
+	for ep.More() {
+		ep.Step(nil)
+	}
+	ep.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step past the end did not panic")
+		}
+	}()
+	ep.Step(nil)
+}

@@ -153,107 +153,16 @@ func clampWorkspace(v float64) float64 {
 // returns the executed trajectory plus ground truth. The left manipulator
 // carries the block, matching the G12 (reach left) → G6 (carry) → G5 →
 // G11 (drop) grammar. cameraFPS <= 0 disables rendering.
+//
+// Run is the open-loop replay: it is defined as the Episode stepping loop
+// with no command overrides, so batch replays and closed-loop guarded runs
+// (internal/mitigation) share one physics path by construction.
 func (w *World) Run(commands *kinematics.Trajectory, cameraFPS float64) *Result {
-	res := &Result{
-		DropFrame:    -1,
-		ReleaseFrame: -1,
-		Outcome:      NoFailure,
+	ep := w.Begin(commands, cameraFPS)
+	for ep.More() {
+		ep.Step(nil)
 	}
-	exec := &kinematics.Trajectory{
-		HzRate:  commands.HzRate,
-		Subject: commands.Subject,
-		Trial:   commands.Trial,
-	}
-	dt := 1 / commands.HzRate
-	camEvery := 0
-	if cameraFPS > 0 {
-		camEvery = int(commands.HzRate / cameraFPS)
-		if camEvery < 1 {
-			camEvery = 1
-		}
-	}
-
-	for i := range commands.Frames {
-		f := commands.Frames[i] // copy
-		// Controller safety envelope on Cartesian commands.
-		for _, m := range []kinematics.Manipulator{kinematics.Left, kinematics.Right} {
-			x, y, z := f.Cartesian(m)
-			f.SetCartesian(m, clampWorkspace(x), clampWorkspace(y), clampWorkspace(z))
-		}
-		gx, gy, gz := f.Cartesian(kinematics.Left)
-		ga := f.GrasperAngle(kinematics.Left)
-
-		switch {
-		case !w.blockHeld && !w.blockDown:
-			// Grab when the open-then-closing jaw reaches the block.
-			d := dist3(gx, gy, gz, w.blockPos[0], w.blockPos[1], w.blockPos[2])
-			if d < GraspRadius && ga < HoldAngle {
-				w.blockHeld = true
-			}
-		case w.blockHeld:
-			// Carry: block follows the jaw.
-			w.blockPos = [3]float64{gx, gy, gz}
-			switch {
-			case ga >= ReleaseAngle && nearReceptacle(gx, gy):
-				// Intentional release over the receptacle: success.
-				w.blockHeld = false
-				w.blockDown = true
-				w.blockPos[2] = 0
-				res.ReleaseFrame = i
-			case ga > w.slipThresh:
-				// Jaw opened past the grip threshold: the block slips
-				// at a rate proportional to the excess, dropping once
-				// the integrated excess exhausts the grip capacity.
-				w.slipAccum += (ga - w.slipThresh) * dt
-				if w.slipAccum > w.slipBudget {
-					w.blockHeld = false
-					w.blockDown = true
-					// A slipping block inherits the carry momentum and
-					// tumbles as it lands, displacing it visibly from
-					// the jaw in the camera view.
-					tumble := 0.010 + 0.5*w.blockPos[2]
-					ang := w.rng.Float64() * 2 * math.Pi
-					w.blockPos[0] += tumble * math.Cos(ang)
-					w.blockPos[1] += tumble * math.Sin(ang)
-					w.blockPos[2] = 0
-					res.DropFrame = i
-					if ga >= hardOpenAngle && nearMissReceptacle(w.blockPos[0], w.blockPos[1]) {
-						// A commanded full-open release that lands just
-						// outside the receptacle (e.g. Cartesian
-						// deviation at drop time): wrong-position drop.
-						res.Outcome = WrongPositionDrop
-					} else {
-						res.Outcome = BlockDropFailure
-					}
-				}
-			}
-		}
-
-		exec.Frames = append(exec.Frames, f)
-		if len(commands.Gestures) == len(commands.Frames) {
-			exec.Gestures = append(exec.Gestures, commands.Gestures[i])
-		}
-		if len(commands.Unsafe) == len(commands.Frames) {
-			exec.Unsafe = append(exec.Unsafe, commands.Unsafe[i])
-		}
-		if camEvery > 0 && i%camEvery == 0 {
-			res.Frames = append(res.Frames, w.Render())
-			res.FrameTimes = append(res.FrameTimes, i)
-		}
-	}
-
-	// Outcome classification at episode end.
-	if res.Outcome == NoFailure {
-		switch {
-		case w.blockHeld || !w.blockDown:
-			// Block never released: dropoff failure.
-			res.Outcome = DropoffFailure
-		case res.ReleaseFrame >= 0 && !nearReceptacle(w.blockPos[0], w.blockPos[1]):
-			res.Outcome = WrongPositionDrop
-		}
-	}
-	res.Traj = exec
-	return res
+	return ep.Finish()
 }
 
 func nearReceptacle(x, y float64) bool {

@@ -261,6 +261,7 @@ func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) 
 	if d.env == nil {
 		return nil, notReadyErr(d.name(), d.loadErr)
 	}
+	sc := applySessionOptions(opts)
 	// All per-frame scratch — the feature projection, the classifier's
 	// decode state and the envelope scorer's row — is allocated here, so
 	// a warm Push is allocation-free.
@@ -283,7 +284,7 @@ func (d *classifierDetector) NewSession(opts ...SessionOption) (Session, error) 
 		}
 		s.sd = sp
 	}
-	return s, nil
+	return wrapGuard(s, sc)
 }
 
 type classifierSession struct {

@@ -246,13 +246,13 @@ func (d *contextDetector) NewSession(opts ...SessionOption) (Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &coreSession{push: st.Push, reset: st.Reset}, nil
+		return wrapGuard(&coreSession{push: st.Push, reset: st.Reset}, sc)
 	}
 	st, err := d.mon.NewStream(sc.groundTruth)
 	if err != nil {
 		return nil, err
 	}
-	return &coreSession{push: st.Push, reset: st.Reset}, nil
+	return wrapGuard(&coreSession{push: st.Push, reset: st.Reset}, sc)
 }
 
 // coreSession adapts core's two stream types to the Session interface.

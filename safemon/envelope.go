@@ -142,7 +142,7 @@ func (d *envelopeDetector) NewSession(opts ...SessionOption) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &envelopeSession{d: d, scorer: scorer, labels: sc.groundTruth}, nil
+	return wrapGuard(&envelopeSession{d: d, scorer: scorer, labels: sc.groundTruth}, sc)
 }
 
 type envelopeSession struct {

@@ -1,0 +1,60 @@
+package guard
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParsePolicy pins the policy parser's safety contract: arbitrary
+// bytes must never panic, a successful parse must yield a policy the
+// engine accepts, and a successful parse must survive a marshal→parse
+// round trip. The guard config is the one input surface an operator
+// hand-writes (safemond -policies), so it gets the same fuzz treatment as
+// the wire and artifact decoders. The seed corpus lives under
+// testdata/fuzz/ and is replayed by `make ci`.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add([]byte(`{"name":"default","threshold":0.5}`))
+	f.Add([]byte(`{"name":"carry","threshold":0.4,"gesture_thresholds":{"6":0.2,"11":0.9},` +
+		`"warmup_frames":12,"debounce_frames":3,"release_frames":6,"escalate_frames":2,` +
+		`"initial_action":"warn","max_action":"retract","panic_score":0.98,"reaction_budget_frames":20}`))
+	f.Add([]byte(`{"policies":[{"name":"a","threshold":0.5},{"name":"b","threshold":0.2,"max_action":"pause"}]}`))
+	f.Add([]byte(`{"name":"x","threshold":1e308}`))
+	f.Add([]byte(`{"name":"x","threshold":-1}`))
+	f.Add([]byte(`{"name":"x","max_action":"explode"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"policies":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Single-policy form.
+		if p, err := ParsePolicy(data); err == nil {
+			if _, err := NewEngine(p); err != nil {
+				t.Fatalf("parsed policy rejected by NewEngine: %v (%+v)", err, p)
+			}
+			out, err := json.Marshal(p)
+			if err != nil {
+				t.Fatalf("parsed policy does not marshal: %v", err)
+			}
+			if _, err := ParsePolicy(out); err != nil {
+				t.Fatalf("round trip failed: %v on %s", err, out)
+			}
+		}
+		// Config-file form.
+		if ps, err := ParsePolicies(data); err == nil {
+			if len(ps) == 0 {
+				t.Fatal("ParsePolicies returned an empty set without error")
+			}
+			seen := map[string]bool{}
+			for _, p := range ps {
+				if p.Name == "" || seen[p.Name] {
+					t.Fatalf("invalid name survived: %+v", ps)
+				}
+				seen[p.Name] = true
+				if _, err := NewEngine(p); err != nil {
+					t.Fatalf("config policy rejected by NewEngine: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package guard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadPolicy reports an invalid policy definition; every validation and
+// parse failure wraps it.
+var ErrBadPolicy = errors.New("guard: invalid policy")
+
+// maxPolicyFrames bounds every frame-count knob: a debounce or escalation
+// interval longer than this is a configuration error, not a policy.
+const maxPolicyFrames = 1 << 20
+
+// maxPolicyBytes caps one policy-config document, mirroring the serve
+// layer's no-unbounded-buffering contract.
+const maxPolicyBytes = 1 << 20
+
+// Policy is the declarative mitigation configuration of one guard engine.
+// The zero value is not valid; start from DefaultPolicy or a parsed
+// config. See the package documentation for the state-machine semantics.
+type Policy struct {
+	// Name identifies the policy (the ?policy= selector in safemond).
+	Name string `json:"name"`
+	// Threshold is the unsafe-score level at which a frame counts as
+	// hazard evidence. Scores are backend-defined (probabilities for the
+	// neural monitors, violation magnitudes for the envelope), so the
+	// threshold is calibrated per deployment, like the detector's own.
+	Threshold float64 `json:"threshold"`
+	// GestureThresholds overrides Threshold while the verdict's gesture
+	// context matches — the context-aware trigger (e.g. tolerate more
+	// during an intentional G11 release than during a G6 carry).
+	GestureThresholds map[int]float64 `json:"gesture_thresholds,omitempty"`
+	// WarmupFrames suppresses evidence for the first frames of a stream:
+	// sliding-window detectors score on partial windows until roughly a
+	// window length of frames has arrived, and those scores are noise,
+	// not hazard evidence. 0 disables (the engine-level default); sized
+	// policies set it to the detector window length plus slack.
+	WarmupFrames int `json:"warmup_frames,omitempty"`
+	// DebounceFrames consecutive evidence frames confirm an alert
+	// (default 2). 1 confirms on the first evidence frame.
+	DebounceFrames int `json:"debounce_frames,omitempty"`
+	// ReleaseFrames consecutive sub-threshold frames release a
+	// non-latching action (default 2*DebounceFrames).
+	ReleaseFrames int `json:"release_frames,omitempty"`
+	// EscalateFrames is the ladder cadence: one rung per EscalateFrames
+	// evidence frames beyond the debounce. <= 0 disables escalation
+	// (the engine engages InitialAction only, plus the PanicScore jump).
+	EscalateFrames int `json:"escalate_frames,omitempty"`
+	// InitialAction is the first rung engaged on confirmation (default
+	// ActionWarn).
+	InitialAction Action `json:"initial_action,omitempty"`
+	// MaxAction caps the ladder (default ActionSafeStop).
+	MaxAction Action `json:"max_action,omitempty"`
+	// PanicScore, when > 0, jumps a confirmed episode straight to
+	// MaxAction once a score reaches it — extreme evidence skips the
+	// ladder but never the debounce.
+	PanicScore float64 `json:"panic_score,omitempty"`
+	// ReactionBudgetFrames declares the alert-to-hazard deadline the
+	// policy is designed for; the mitigation campaign scores actual
+	// latencies against it (default 30 frames = 1 s at 30 Hz).
+	ReactionBudgetFrames int `json:"reaction_budget_frames,omitempty"`
+}
+
+// DefaultPolicy returns the reference policy: a 12-frame warmup (the
+// default detector window plus slack), confirm after 2 consecutive
+// evidence frames, engage Warn, escalate a rung every 2 further evidence
+// frames up to SafeStop, release after 4 safe frames, 1 s (at 30 Hz)
+// reaction budget.
+func DefaultPolicy() Policy {
+	return Policy{
+		Name:                 "default",
+		Threshold:            0.5,
+		WarmupFrames:         12,
+		DebounceFrames:       2,
+		ReleaseFrames:        4,
+		EscalateFrames:       2,
+		InitialAction:        ActionWarn,
+		MaxAction:            ActionSafeStop,
+		ReactionBudgetFrames: 30,
+	}
+}
+
+// withDefaults fills zero-valued knobs with their documented defaults.
+func (p Policy) withDefaults() Policy {
+	if p.DebounceFrames == 0 {
+		p.DebounceFrames = 2
+	}
+	if p.ReleaseFrames == 0 {
+		p.ReleaseFrames = 2 * p.DebounceFrames
+	}
+	if p.InitialAction == ActionNone {
+		p.InitialAction = ActionWarn
+	}
+	if p.MaxAction == ActionNone {
+		p.MaxAction = ActionSafeStop
+	}
+	if p.ReactionBudgetFrames == 0 {
+		p.ReactionBudgetFrames = 30
+	}
+	return p
+}
+
+// Validate checks the policy. It validates the literal field values; use
+// NewEngine (which applies defaults first) to accept zero-valued knobs.
+func (p Policy) Validate() error {
+	if !isFiniteNonNeg(p.Threshold) {
+		return fmt.Errorf("%w: threshold %v must be finite and >= 0", ErrBadPolicy, p.Threshold)
+	}
+	for g, t := range p.GestureThresholds {
+		if g < 0 {
+			return fmt.Errorf("%w: gesture threshold for negative gesture %d", ErrBadPolicy, g)
+		}
+		if !isFiniteNonNeg(t) {
+			return fmt.Errorf("%w: gesture %d threshold %v must be finite and >= 0", ErrBadPolicy, g, t)
+		}
+	}
+	for name, n := range map[string]int{
+		"debounce_frames":        p.DebounceFrames,
+		"release_frames":         p.ReleaseFrames,
+		"reaction_budget_frames": p.ReactionBudgetFrames,
+	} {
+		if n < 1 || n > maxPolicyFrames {
+			return fmt.Errorf("%w: %s %d out of range [1, %d]", ErrBadPolicy, name, n, maxPolicyFrames)
+		}
+	}
+	if p.EscalateFrames < 0 || p.EscalateFrames > maxPolicyFrames {
+		return fmt.Errorf("%w: escalate_frames %d out of range [0, %d]", ErrBadPolicy, p.EscalateFrames, maxPolicyFrames)
+	}
+	if p.WarmupFrames < 0 || p.WarmupFrames > maxPolicyFrames {
+		return fmt.Errorf("%w: warmup_frames %d out of range [0, %d]", ErrBadPolicy, p.WarmupFrames, maxPolicyFrames)
+	}
+	if p.InitialAction < ActionWarn || p.InitialAction > maxActionValue {
+		return fmt.Errorf("%w: initial_action %v", ErrBadPolicy, p.InitialAction)
+	}
+	if p.MaxAction < ActionWarn || p.MaxAction > maxActionValue {
+		return fmt.Errorf("%w: max_action %v", ErrBadPolicy, p.MaxAction)
+	}
+	if p.MaxAction < p.InitialAction {
+		return fmt.Errorf("%w: max_action %v below initial_action %v", ErrBadPolicy, p.MaxAction, p.InitialAction)
+	}
+	if !isFiniteNonNeg(p.PanicScore) {
+		return fmt.Errorf("%w: panic_score %v must be finite and >= 0", ErrBadPolicy, p.PanicScore)
+	}
+	return nil
+}
+
+func isFiniteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// MarshalText encodes the action as its wire name.
+func (a Action) MarshalText() ([]byte, error) {
+	if a < ActionNone || a > maxActionValue {
+		return nil, fmt.Errorf("%w: unknown action %d", ErrBadPolicy, int(a))
+	}
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText decodes an action wire name ("none", "warn", "pause",
+// "safe-stop", "retract").
+func (a *Action) UnmarshalText(text []byte) error {
+	parsed, err := ParseAction(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// ParseAction maps a wire name to its Action.
+func ParseAction(s string) (Action, error) {
+	for a := ActionNone; a <= maxActionValue; a++ {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return ActionNone, fmt.Errorf("%w: unknown action %q", ErrBadPolicy, s)
+}
+
+// ParsePolicy decodes one JSON policy object. Unknown fields are rejected
+// — a typo in a safety policy must fail loudly at startup, not silently
+// fall back to a default. The parsed policy is validated with defaults
+// applied (the form an Engine would run), so a successful parse always
+// yields a policy NewEngine accepts. It never panics on malformed input
+// (the property FuzzParsePolicy pins).
+func ParsePolicy(data []byte) (Policy, error) {
+	var p Policy
+	if len(data) > maxPolicyBytes {
+		return p, fmt.Errorf("%w: policy document exceeds %d bytes", ErrBadPolicy, maxPolicyBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Policy{}, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	// A second document on the same line is garbage, not configuration.
+	if dec.More() {
+		return Policy{}, fmt.Errorf("%w: trailing data after policy object", ErrBadPolicy)
+	}
+	if err := p.withDefaults().Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// policyFile is the on-disk config format safemond's -policies flag reads.
+type policyFile struct {
+	Policies []json.RawMessage `json:"policies"`
+}
+
+// ParsePolicies decodes a policy config document: {"policies":[{...},...]}.
+// Every policy must validate and carry a unique non-empty name. It never
+// panics on malformed input.
+func ParsePolicies(data []byte) ([]Policy, error) {
+	if len(data) > maxPolicyBytes {
+		return nil, fmt.Errorf("%w: policy document exceeds %d bytes", ErrBadPolicy, maxPolicyBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var file policyFile
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after policy config", ErrBadPolicy)
+	}
+	if len(file.Policies) == 0 {
+		return nil, fmt.Errorf("%w: config defines no policies", ErrBadPolicy)
+	}
+	out := make([]Policy, 0, len(file.Policies))
+	seen := make(map[string]bool, len(file.Policies))
+	for i, raw := range file.Policies {
+		p, err := ParsePolicy(raw)
+		if err != nil {
+			return nil, fmt.Errorf("policy %d: %w", i, err)
+		}
+		if p.Name == "" {
+			return nil, fmt.Errorf("%w: policy %d has no name", ErrBadPolicy, i)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("%w: duplicate policy name %q", ErrBadPolicy, p.Name)
+		}
+		seen[p.Name] = true
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

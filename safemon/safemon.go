@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gesture"
 	"repro/internal/kinematics"
+	"repro/safemon/guard"
 )
 
 // Core data types re-exported so callers need only this package.
@@ -156,6 +157,7 @@ type SessionOption func(*sessionConfig)
 
 type sessionConfig struct {
 	groundTruth []int
+	guardPolicy *guard.Policy
 }
 
 // WithSessionLabels supplies per-frame ground-truth gesture labels to a

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/safemon"
+	"repro/safemon/guard"
 )
 
 // Client is a minimal safemond NDJSON client, used by the loadgen, the
@@ -99,6 +100,30 @@ func (c *Client) Reload(ctx context.Context) ([]ModelInfo, error) {
 	return out.Models, nil
 }
 
+// Policies fetches the guard mitigation policies the server offers
+// (?policy=NAME on Open selects one).
+func (c *Client) Policies(ctx context.Context) ([]guard.Policy, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/policies", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /v1/policies: %s", resp.Status)
+	}
+	var out struct {
+		Policies []guard.Policy `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Policies, nil
+}
+
 // Stats fetches the server's /stats snapshot.
 func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/stats", nil)
@@ -120,20 +145,36 @@ func (c *Client) Stats(ctx context.Context) (*StatsSnapshot, error) {
 // Stream is one open NDJSON session. Use Send/Recv in lockstep (one
 // verdict per frame) from a single goroutine, then Close.
 type Stream struct {
-	body io.WriteCloser // request-body pipe
-	resp *http.Response
-	enc  *json.Encoder
-	dec  *json.Decoder
+	body    io.WriteCloser // request-body pipe
+	resp    *http.Response
+	enc     *json.Encoder
+	dec     *json.Decoder
+	actions []ActionMsg
 }
 
 // Open starts a stream against the named backend. groundTruth, when
 // non-nil, is sent as the stream's labels header. A non-200 admission
 // answer (429 at the session cap, 503 draining) is returned as *ErrorMsg.
 func (c *Client) Open(ctx context.Context, backend string, groundTruth []int) (*Stream, error) {
+	return c.OpenGuarded(ctx, backend, "", groundTruth)
+}
+
+// OpenGuarded is Open with a guard mitigation policy: the server
+// interleaves action records into the verdict stream, collected by Recv
+// and exposed through Stream.Actions. An unknown policy name is an
+// admission failure (*ErrorMsg, 404).
+func (c *Client) OpenGuarded(ctx context.Context, backend, policy string, groundTruth []int) (*Stream, error) {
 	pr, pw := io.Pipe()
 	target := c.BaseURL + "/v1/stream"
+	query := url.Values{}
 	if backend != "" {
-		target += "?backend=" + url.QueryEscape(backend)
+		query.Set("backend", backend)
+	}
+	if policy != "" {
+		query.Set("policy", policy)
+	}
+	if len(query) > 0 {
+		target += "?" + query.Encode()
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, pr)
 	if err != nil {
@@ -172,24 +213,36 @@ func (s *Stream) Send(frame *safemon.Frame) error {
 	return s.enc.Encode(ClientMsg{Frame: frame[:]})
 }
 
-// Recv reads the next verdict. Terminal records surface as errors: io.EOF
-// for a done record, *ErrorMsg for a server error.
+// Recv reads the next verdict. Guard action records arriving in between
+// are collected (see Actions) rather than returned. Terminal records
+// surface as errors: io.EOF for a done record, *ErrorMsg for a server
+// error.
 func (s *Stream) Recv() (safemon.FrameVerdict, error) {
-	var msg ServerMsg
-	if err := s.dec.Decode(&msg); err != nil {
-		return safemon.FrameVerdict{}, err
-	}
-	switch {
-	case msg.Verdict != nil:
-		return msg.Verdict.Verdict(), nil
-	case msg.Error != nil:
-		return safemon.FrameVerdict{}, msg.Error
-	case msg.Done != nil:
-		return safemon.FrameVerdict{}, io.EOF
-	default:
-		return safemon.FrameVerdict{}, fmt.Errorf("serve: empty server record")
+	for {
+		var msg ServerMsg
+		if err := s.dec.Decode(&msg); err != nil {
+			return safemon.FrameVerdict{}, err
+		}
+		switch {
+		case msg.Verdict != nil:
+			return msg.Verdict.Verdict(), nil
+		case msg.Action != nil:
+			s.actions = append(s.actions, *msg.Action)
+		case msg.Error != nil:
+			return safemon.FrameVerdict{}, msg.Error
+		case msg.Done != nil:
+			return safemon.FrameVerdict{}, io.EOF
+		default:
+			return safemon.FrameVerdict{}, fmt.Errorf("serve: empty server record")
+		}
 	}
 }
+
+// Actions returns the guard action records received so far, in stream
+// order. The server emits an action immediately before the verdict of the
+// frame that produced it, so after Recv returns frame i's verdict, every
+// action up to and including frame i has been collected.
+func (s *Stream) Actions() []ActionMsg { return s.actions }
 
 // CloseSend ends the request side so the server can emit its done record;
 // Recv keeps working.

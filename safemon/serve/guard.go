@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/safemon/guard"
+)
+
+// streamGuard runs one stream's mitigation policy engine and keeps the
+// bookkeeping the handler needs to emit action records and maintain the
+// service-wide mitigation counters.
+type streamGuard struct {
+	eng    *guard.Engine
+	policy string
+	mit    *mitigationCounters
+	last   guard.Counters
+}
+
+// newStreamGuard builds the per-stream engine for a validated policy.
+func newStreamGuard(p guard.Policy, mit *mitigationCounters) (*streamGuard, error) {
+	eng, err := guard.NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	mit.guardedStreams.Add(1)
+	return &streamGuard{eng: eng, policy: p.Name, mit: mit}, nil
+}
+
+// step advances the engine on one verdict and returns the action record to
+// interleave into the stream, nil when the mitigation level is unchanged.
+// The service counters are fed from the deltas of the engine's own
+// guard.Counters — one source of truth for transition classification —
+// and updated live so /stats reflects in-flight streams. Every counted
+// event coincides with a level change, so the common (unchanged) frame
+// touches no shared atomics.
+func (g *streamGuard) step(v VerdictMsg) *ActionMsg {
+	d := g.eng.Step(v.Verdict())
+	if !d.Changed {
+		return nil
+	}
+	c := g.eng.Counters()
+	g.mit.alerts.Add(c.Alerts - g.last.Alerts)
+	g.mit.warns.Add(c.Warns - g.last.Warns)
+	g.mit.pauses.Add(c.Pauses - g.last.Pauses)
+	g.mit.safeStops.Add(c.SafeStops - g.last.SafeStops)
+	g.mit.retracts.Add(c.Retracts - g.last.Retracts)
+	g.mit.releases.Add(c.Releases - g.last.Releases)
+	g.last = c
+	return &ActionMsg{
+		I:          d.FrameIndex,
+		Level:      d.Action.String(),
+		AlertFrame: d.AlertFrame,
+		Score:      d.Score,
+		Policy:     g.policy,
+	}
+}
+
+// mitigationCounters aggregates guard activity across every stream the
+// service has carried. Stream handlers write live; /stats readers snapshot
+// concurrently.
+type mitigationCounters struct {
+	guardedStreams atomic.Uint64
+	alerts         atomic.Uint64
+	warns          atomic.Uint64
+	pauses         atomic.Uint64
+	safeStops      atomic.Uint64
+	retracts       atomic.Uint64
+	releases       atomic.Uint64
+}
+
+// MitigationSnapshot is the mitigation section of the /stats payload.
+type MitigationSnapshot struct {
+	// Policies lists the policy names streams can request.
+	Policies []string `json:"policies"`
+	// GuardedStreams counts streams opened with ?policy=.
+	GuardedStreams uint64 `json:"guarded_streams"`
+	// Alerts counts confirmed unsafe episodes across guarded streams.
+	Alerts uint64 `json:"alerts"`
+	// Warns/Pauses/SafeStops/Retracts count upward mitigation
+	// transitions; Releases counts hysteresis releases.
+	Warns     uint64 `json:"warns"`
+	Pauses    uint64 `json:"pauses"`
+	SafeStops uint64 `json:"safe_stops"`
+	Retracts  uint64 `json:"retracts"`
+	Releases  uint64 `json:"releases"`
+}
+
+// snapshot renders the counters.
+func (m *mitigationCounters) snapshot(policies []string) MitigationSnapshot {
+	return MitigationSnapshot{
+		Policies:       policies,
+		GuardedStreams: m.guardedStreams.Load(),
+		Alerts:         m.alerts.Load(),
+		Warns:          m.warns.Load(),
+		Pauses:         m.pauses.Load(),
+		SafeStops:      m.safeStops.Load(),
+		Retracts:       m.retracts.Load(),
+		Releases:       m.releases.Load(),
+	}
+}
+
+// buildPolicies validates and indexes the configured guard policies by
+// name. Every policy must validate under the same rules safemond's
+// -policies flag enforces at startup.
+func buildPolicies(policies []guard.Policy) (map[string]guard.Policy, []string, error) {
+	byName := make(map[string]guard.Policy, len(policies))
+	names := make([]string, 0, len(policies))
+	for i, p := range policies {
+		if p.Name == "" {
+			return nil, nil, fmt.Errorf("serve: policy %d has no name", i)
+		}
+		if _, dup := byName[p.Name]; dup {
+			return nil, nil, fmt.Errorf("serve: duplicate policy name %q", p.Name)
+		}
+		if _, err := guard.NewEngine(p); err != nil {
+			return nil, nil, fmt.Errorf("serve: policy %q: %w", p.Name, err)
+		}
+		byName[p.Name] = p
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return byName, names, nil
+}

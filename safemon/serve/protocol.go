@@ -61,6 +61,25 @@ func (m VerdictMsg) Verdict() safemon.FrameVerdict {
 	return safemon.FrameVerdict{FrameIndex: m.I, Gesture: m.G, Score: m.Score, Unsafe: m.Unsafe}
 }
 
+// ActionMsg is one guard mitigation edge interleaved into a guarded
+// stream (?policy=NAME): the engine's level changed on frame I. It is
+// emitted immediately before the frame's verdict record, so a lockstep
+// client sees the action no later than the verdict that caused it.
+type ActionMsg struct {
+	// I is the frame index whose verdict produced the edge.
+	I int `json:"i"`
+	// Level is the mitigation level now in force (guard.Action wire name:
+	// "none" on release, "warn", "pause", "safe-stop", "retract").
+	Level string `json:"level"`
+	// AlertFrame is the first confirmed-alert frame of the active
+	// episode, -1 on release.
+	AlertFrame int `json:"alert_frame"`
+	// Score is the verdict score that produced the edge.
+	Score float64 `json:"score"`
+	// Policy names the policy the stream runs.
+	Policy string `json:"policy,omitempty"`
+}
+
 // DoneMsg terminates a healthy stream.
 type DoneMsg struct {
 	// Frames is the number of verdicts emitted.
@@ -82,8 +101,11 @@ func (e *ErrorMsg) Error() string {
 }
 
 // ServerMsg is one response NDJSON record; exactly one field is set.
+// Action records appear only on guarded streams, so unguarded streams
+// remain byte-identical to the pre-guard wire format.
 type ServerMsg struct {
 	Verdict *VerdictMsg `json:"verdict,omitempty"`
+	Action  *ActionMsg  `json:"action,omitempty"`
 	Done    *DoneMsg    `json:"done,omitempty"`
 	Error   *ErrorMsg   `json:"error,omitempty"`
 }

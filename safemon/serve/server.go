@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/safemon"
+	"repro/safemon/guard"
 )
 
 // Config assembles a Server.
@@ -28,6 +29,12 @@ type Config struct {
 	// hot-swap the result in — new streams bind the new models while
 	// in-flight streams finish on the old ones. Nil disables reload.
 	Loader func(ctx context.Context) (map[string]Model, error)
+	// Policies are the guard mitigation policies streams may request
+	// with ?policy=NAME; action records are then interleaved into the
+	// verdict stream and mitigation counters appear in /stats. Every
+	// policy is validated at construction. Empty disables guarded
+	// streams.
+	Policies []guard.Policy
 	// Manager tunes sharding, mailbox depth, session caps and
 	// backpressure.
 	Manager ManagerConfig
@@ -48,17 +55,26 @@ type Config struct {
 //
 // Endpoints:
 //
-//	POST /v1/stream?backend=NAME  NDJSON duplex frame/verdict stream
+//	POST /v1/stream?backend=NAME[&policy=NAME]  NDJSON duplex frame/verdict
+//	     stream; with a policy, guard action records are interleaved
 //	GET  /v1/backends             served backend names
 //	GET  /v1/models               served model versions
 //	POST /v1/models/reload        hot-swap to the loader's current models
+//	GET  /v1/policies             configured guard mitigation policies
 //	GET  /stats                   per-shard throughput + latency quantiles
+//	                              + mitigation counters
 //	GET  /healthz                 ok / draining
 type Server struct {
 	cfg     Config
 	manager *Manager
 	mux     *http.ServeMux
 	start   time.Time
+
+	// policies indexes the validated guard policies by name;
+	// policyNames is the sorted /v1/policies listing.
+	policies    map[string]guard.Policy
+	policyNames []string
+	mitigation  mitigationCounters
 
 	// reloadMu serializes Reload calls (the swap itself is atomic).
 	reloadMu sync.Mutex
@@ -84,12 +100,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.StreamIdleTimeout <= 0 {
 		cfg.StreamIdleTimeout = 2 * time.Minute
 	}
-	s := &Server{cfg: cfg, manager: manager, start: time.Now()}
+	policies, policyNames, err := buildPolicies(cfg.Policies)
+	if err != nil {
+		manager.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg, manager: manager, start: time.Now(),
+		policies: policies, policyNames: policyNames,
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/models/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
@@ -104,7 +129,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns the current service counters (the /stats payload).
 func (s *Server) Stats() StatsSnapshot {
-	return s.manager.snapshot(s.manager.backendNames(), time.Since(s.start))
+	snap := s.manager.snapshot(s.manager.backendNames(), time.Since(s.start))
+	snap.Mitigation = s.mitigation.snapshot(s.policyNames)
+	return snap
+}
+
+// Policies returns the guard policies streams may request, sorted by name
+// (the /v1/policies payload).
+func (s *Server) Policies() []guard.Policy {
+	out := make([]guard.Policy, 0, len(s.policyNames))
+	for _, name := range s.policyNames {
+		out = append(out, s.policies[name])
+	}
+	return out
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"policies": s.Policies()})
 }
 
 // BeginDrain flips the service into draining mode without touching
@@ -180,6 +221,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !s.manager.has(backend) {
 		http.Error(w, fmt.Sprintf("unknown backend %q (have %v)", backend, s.manager.backendNames()), http.StatusNotFound)
 		return
+	}
+	// Guarded streams opt in per request; an unknown policy name is an
+	// admission failure, like an unknown backend.
+	var policy *guard.Policy
+	if name := r.URL.Query().Get("policy"); name != "" {
+		p, ok := s.policies[name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown policy %q (have %v)", name, s.policyNames), http.StatusNotFound)
+			return
+		}
+		policy = &p
 	}
 	if s.isDraining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -260,6 +312,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	healthy := true
 	defer func() { sess.Release(healthy) }()
 
+	var sg *streamGuard
+	if policy != nil {
+		sg, err = newStreamGuard(*policy, &s.mitigation)
+		if err != nil {
+			// Policies are validated at construction; reaching this is a
+			// server bug, not a client error.
+			healthy = false
+			emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusInternalServerError, Message: err.Error()}})
+			return
+		}
+	}
+
 	frames := 0
 	for {
 		var msg *ClientMsg
@@ -297,6 +361,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		frames++
 		wire := WireVerdict(v)
+		if sg != nil {
+			// The engine steps on the verdict; an action edge is emitted
+			// immediately before it so a lockstep client sees the action
+			// no later than the verdict that caused it.
+			if act := sg.step(wire); act != nil {
+				emit(ServerMsg{Action: act})
+			}
+		}
 		emit(ServerMsg{Verdict: &wire})
 	}
 }

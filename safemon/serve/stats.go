@@ -88,20 +88,21 @@ type ShardSnapshot struct {
 	P99LatencyMS   float64 `json:"p99_latency_ms"`
 }
 
-// StatsSnapshot is the /stats payload: aggregate service counters plus the
-// per-shard breakdown.
+// StatsSnapshot is the /stats payload: aggregate service counters, the
+// guard mitigation counters, and the per-shard breakdown.
 type StatsSnapshot struct {
-	UptimeSeconds  float64         `json:"uptime_seconds"`
-	Backends       []string        `json:"backends"`
-	Shards         int             `json:"shards"`
-	Frames         uint64          `json:"frames"`
-	SessionsOpened uint64          `json:"sessions_opened"`
-	SessionsActive int64           `json:"sessions_active"`
-	QueueFull      uint64          `json:"queue_full"`
-	ThroughputFPS  float64         `json:"throughput_fps"`
-	P50LatencyMS   float64         `json:"p50_latency_ms"`
-	P99LatencyMS   float64         `json:"p99_latency_ms"`
-	PerShard       []ShardSnapshot `json:"per_shard"`
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	Backends       []string           `json:"backends"`
+	Shards         int                `json:"shards"`
+	Frames         uint64             `json:"frames"`
+	SessionsOpened uint64             `json:"sessions_opened"`
+	SessionsActive int64              `json:"sessions_active"`
+	QueueFull      uint64             `json:"queue_full"`
+	ThroughputFPS  float64            `json:"throughput_fps"`
+	P50LatencyMS   float64            `json:"p50_latency_ms"`
+	P99LatencyMS   float64            `json:"p99_latency_ms"`
+	Mitigation     MitigationSnapshot `json:"mitigation"`
+	PerShard       []ShardSnapshot    `json:"per_shard"`
 }
 
 // snapshot renders the manager's counters. Quantile fields are NaN-free

@@ -3,10 +3,12 @@
 #
 # Runs the per-backend session-step benchmarks with -benchmem — both the
 # fitted-detector path (BenchmarkSessionStep) and the artifact-loaded path
-# (BenchmarkSessionStepLoaded) — and fails if any sub-benchmark reports
-# more than 0 allocs/op: the zero-allocation guarantee README's Performance
-# section documents must hold for models loaded from artifacts exactly as
-# it does for freshly fitted ones.
+# (BenchmarkSessionStepLoaded) — plus the guard policy engine's
+# BenchmarkGuardStep, and fails if any sub-benchmark reports more than 0
+# allocs/op: the zero-allocation guarantee README's Performance section
+# documents must hold for models loaded from artifacts exactly as it does
+# for freshly fitted ones, and the closed-loop guard must add nothing to
+# the per-frame path.
 # Run via `make bench-smoke` (or `make ci`, which includes it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -20,11 +22,19 @@ out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep(Loaded)?$' \
 	echo "benchguard: benchmark run failed" >&2
 	exit 1
 }
+guardout="$("$GO" test -run='^$' -bench='^BenchmarkGuardStep$' \
+	-benchtime="$BENCHTIME" -benchmem ./safemon/guard/)" || {
+	echo "$guardout"
+	echo "benchguard: guard benchmark run failed" >&2
+	exit 1
+}
+out="$out
+$guardout"
 echo "$out"
 
 # Benchmark lines end in "... <B> B/op  <N> allocs/op"; NF-1 is <N>.
 echo "$out" | awk '
-	/^BenchmarkSessionStep/ {
+	/^Benchmark(SessionStep|GuardStep)/ {
 		if ($(NF-1) + 0 > 0) {
 			printf "benchguard: %s allocates %s allocs/op (budget: 0)\n", $1, $(NF-1)
 			bad = 1
@@ -35,4 +45,4 @@ echo "$out" | awk '
 	echo "benchguard: allocation budget exceeded on the session hot path" >&2
 	exit 1
 }
-echo "benchguard: all session-step benchmarks (fitted and loaded) within the 0 allocs/op budget"
+echo "benchguard: all session-step and guard-step benchmarks within the 0 allocs/op budget"
