@@ -17,6 +17,10 @@
 #                      context-aware monitor must prevent >=1 block-drop
 #                      hazard the unguarded baseline suffers, with zero
 #                      false stops on fault-free runs
+#   make incidents-smoke - record -> safe-stop -> replay round-trip: guarded
+#                      streams with injected faults latch incidents into an
+#                      on-disk event ledger, and every incident must replay
+#                      byte-identically through its original backend
 #   make bench-coldstart - per-backend fit-vs-load time-to-ready benchmarks
 #   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
 #   make fuzz        - actively fuzz the serve protocol parser and the model
@@ -29,9 +33,10 @@ GO ?= go
 TRAIN_FLAGS ?= -demos 16 -scale 0.5 -epochs 4 -stride 3
 
 .PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard \
-	bench-coldstart fuzz fuzz-replay train lifecycle-smoke mitigate-smoke
+	bench-coldstart fuzz fuzz-replay train lifecycle-smoke mitigate-smoke \
+	incidents-smoke
 
-ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke
+ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke incidents-smoke
 
 fmt:
 	gofmt -w .
@@ -88,8 +93,17 @@ lifecycle-smoke:
 mitigate-smoke:
 	$(GO) test -run='^TestMitigateSmoke$$' -count=1 -v ./internal/mitigation/
 
+# The incident-ledger smoke: the experiments drill records guarded streams
+# (clean + fault-injected) into a disk ledger through a live safemond,
+# requires every injected attack to latch into an incident, and fails
+# unless each incident replays byte-identically through its original
+# backend and policy.
+incidents-smoke:
+	$(GO) run ./cmd/experiments -run incidents
+
 # Replay the checked-in fuzz seed corpora as plain tests (what CI runs):
-# the serve protocol parser plus the model artifact/manifest decoders.
+# the serve protocol parser, the model artifact/manifest decoders, and the
+# ledger segment reader.
 fuzz-replay:
 	$(GO) test -run='^Fuzz' ./safemon/...
 
@@ -100,3 +114,4 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalEnvelope -fuzztime=30s ./safemon/
 	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=30s ./safemon/modelstore/
 	$(GO) test -run=^$$ -fuzz=FuzzParsePolicy -fuzztime=30s ./safemon/guard/
+	$(GO) test -run=^$$ -fuzz=FuzzReadSegment -fuzztime=30s ./safemon/ledger/

@@ -13,11 +13,15 @@
 // concurrent NDJSON streaming clients (see -addr, -sessions, -backend),
 // -run train fits detector backends and saves versioned model artifacts
 // into -model-dir for safemond to serve (see -backend, -model-version),
-// and -run mitigate runs the simulator-in-the-loop reaction campaign —
+// -run mitigate runs the simulator-in-the-loop reaction campaign —
 // the fault-injection suite replayed unguarded vs. guarded (safemon/guard)
 // over identical worlds, reporting prevented / missed / false-stop counts
-// and detection-to-hazard latencies per backend (see -backend, -scale).
-// All three are excluded from "all".
+// and detection-to-hazard latencies per backend (see -backend, -scale),
+// and -run incidents drives the durable event ledger end to end: guarded
+// streams with injected faults latch safe-stops that become incidents on
+// disk, each replayed byte-identically through its original backend and
+// counterfactually through a second one. All four are excluded from
+// "all".
 package main
 
 import (
@@ -98,6 +102,9 @@ func run(args []string) error {
 			}
 			return runMitigate(opts, mitigateOptions{backends: backends})
 		},
+		"incidents": func() (renderer, error) {
+			return runIncidents(opts, incidentsOptions{backend: *backend})
+		},
 	}
 
 	names := []string{*runName}
@@ -106,7 +113,7 @@ func run(args []string) error {
 		for name := range runners {
 			// Service drills and the mitigation campaign are not paper
 			// artifacts; run them explicitly.
-			if name == "loadgen" || name == "train" || name == "mitigate" {
+			if name == "loadgen" || name == "train" || name == "mitigate" || name == "incidents" {
 				continue
 			}
 			names = append(names, name)

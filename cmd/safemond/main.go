@@ -23,16 +23,27 @@
 //	safemond -addr :8080 -model-dir ./models -backends all
 //	safemond -addr :8080 -backends envelope,context-aware   # fit at startup
 //	safemond -addr :8080 -policies policies.json            # guarded streams
+//	safemond -addr :8080 -ledger-dir ./ledger               # durable event log
 //
 // With -policies, the config file ({"policies":[...]}; see safemon/guard)
 // is validated at startup and streams may opt into closed-loop mitigation
 // with ?policy=NAME: guard action records are interleaved into the
 // verdict stream and mitigation counters appear under /stats.
 //
+// With -ledger-dir, every stream is recorded into a crash-safe on-disk
+// event ledger (safemon/ledger): session lifecycle, per-frame verdicts
+// with their input frames, guard action edges, and model swaps. A stream
+// on which a latching mitigation (safe-stop, retract) engaged becomes an
+// incident, listable and replayable — across restarts — through the
+// incident endpoints. The drain sequence flushes and seals the ledger, so
+// a SIGTERM loses no recorded tail.
+//
 // Endpoints: POST /v1/stream?backend=NAME[&policy=NAME] (NDJSON duplex),
 // GET /v1/backends, GET /v1/models, POST /v1/models/reload, GET
-// /v1/policies, GET /stats, GET /healthz. See the serve package docs for
-// the wire protocol. SIGINT/SIGTERM drains in-flight streams before exit.
+// /v1/policies, GET /v1/incidents, GET /v1/incidents/{id}, POST
+// /v1/incidents/{id}/replay, GET /stats, GET /healthz. See the serve
+// package docs for the wire protocol. SIGINT/SIGTERM drains in-flight
+// streams before exit.
 package main
 
 import (
@@ -54,6 +65,7 @@ import (
 	"repro/internal/synth"
 	"repro/safemon"
 	"repro/safemon/guard"
+	"repro/safemon/ledger"
 	"repro/safemon/modelstore"
 	"repro/safemon/serve"
 )
@@ -186,6 +198,9 @@ func run(args []string) error {
 		"comma-separated backends to serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
 	modelDir := fs.String("model-dir", "", "versioned model store; serve its artifacts instead of fitting at startup (SIGHUP hot-swaps to new versions)")
 	policyFile := fs.String("policies", "", "guard policy config file (JSON: {\"policies\":[...]}); streams opt in with ?policy=NAME")
+	ledgerDir := fs.String("ledger-dir", "", "durable event-ledger directory; records every stream and enables the incident endpoints")
+	ledgerMaxBytes := fs.Int64("ledger-max-bytes", 0, "ledger retention budget in bytes (0 = 256 MiB); incident segments are never compacted")
+	ledgerMaxAge := fs.Duration("ledger-max-age", 0, "additionally compact ledger segments older than this (0 = keep until -ledger-max-bytes)")
 	trainOnly := fs.Bool("train-only", false, "fit the backends, save artifacts into -model-dir, and exit")
 	modelVersion := fs.String("model-version", "", "version for -train-only artifacts (empty = next sequential)")
 	shards := fs.Int("shards", 0, "session-manager shards (0 = serve default)")
@@ -322,6 +337,30 @@ func run(args []string) error {
 		cfg.Detectors = detectors
 	}
 
+	// The event ledger opens (and crash-recovers) before serving starts:
+	// a torn tail from a previous crash is truncated now, and sessions
+	// pinned by captured incidents survive compaction. The daemon owns
+	// the appender — the server only borrows it — so it closes (sealing
+	// the active segment) after the drain completes.
+	var app *ledger.Appender
+	if *ledgerDir != "" {
+		store, err := ledger.OpenDisk(*ledgerDir, ledger.DiskConfig{
+			MaxBytes: *ledgerMaxBytes,
+			MaxAge:   *ledgerMaxAge,
+		})
+		if err != nil {
+			return fmt.Errorf("open ledger: %w", err)
+		}
+		if n := store.RecoveredBytes(); n > 0 {
+			log.Printf("ledger recovery truncated %d bytes of torn tail", n)
+		}
+		segs, active := store.Segments()
+		log.Printf("ledger at %s: %d bytes across %d segments (active %s)",
+			*ledgerDir, store.SizeBytes(), segs, active)
+		app = ledger.NewAppender(store, ledger.Options{})
+		cfg.Ledger = app
+	}
+
 	cfg.Policies = policies
 	cfg.Manager = serve.ManagerConfig{
 		Shards:         *shards,
@@ -383,6 +422,13 @@ loop:
 	defer cancel()
 	err = hs.Shutdown(shutdownCtx)
 	srv.Shutdown()
+	if app != nil {
+		// The server flushed during Shutdown; Close drains any stragglers,
+		// fsyncs, and seals the active segment.
+		if cerr := app.Close(); cerr != nil {
+			log.Printf("ledger close: %v", cerr)
+		}
+	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}

@@ -1,0 +1,228 @@
+// Incident capture and time-travel replay: a targeted attack latches a
+// safe-stop, the durable event ledger turns the stream into an incident,
+// and — after a full service restart — the incident is replayed through a
+// second backend to ask what the other monitor would have done.
+//
+// The scenario extends examples/attackreplay with the closed loop and the
+// flight recorder: a stealthy grasper-angle ramp (the needle-drop
+// signature from the paper's threat model, §I, §IV-B) is streamed through
+// a guarded safemond service that records every verdict — with its input
+// frame — into an on-disk event ledger. The guard policy escalates to a
+// latching safe-stop, which makes the session an incident. The service is
+// then torn down and rebuilt over the same ledger directory, proving the
+// incident survives restarts, and the recorded input stream is re-run
+// through both the original envelope monitor (byte-identical trail) and a
+// skip-chain monitor it was never streamed to.
+//
+// Run with:
+//
+//	go run ./examples/incident
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/faultinject"
+	"repro/internal/gesture"
+	"repro/internal/kinematics"
+	"repro/internal/synth"
+	"repro/safemon"
+	"repro/safemon/guard"
+	"repro/safemon/ledger"
+	"repro/safemon/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// monitored is the service half of the example: a safemond over the two
+// fitted monitors, recording into the ledger directory.
+type monitored struct {
+	srv    *serve.Server
+	hs     *http.Server
+	app    *ledger.Appender
+	client *serve.Client
+}
+
+// startService opens (or re-opens) the ledger directory and serves both
+// backends behind it.
+func startService(dir string, detectors map[string]safemon.Detector, policy guard.Policy) (*monitored, error) {
+	store, err := ledger.OpenDisk(dir, ledger.DiskConfig{})
+	if err != nil {
+		return nil, err
+	}
+	app := ledger.NewAppender(store, ledger.Options{})
+	srv, err := serve.NewServer(serve.Config{
+		Detectors: detectors,
+		Policies:  []guard.Policy{policy},
+		Ledger:    app,
+	})
+	if err != nil {
+		app.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Shutdown()
+		app.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &monitored{
+		srv: srv, hs: hs, app: app,
+		client: &serve.Client{BaseURL: "http://" + ln.Addr().String()},
+	}, nil
+}
+
+// stop drains the service and seals the ledger — the same sequence
+// safemond runs on SIGTERM.
+func (m *monitored) stop(ctx context.Context) {
+	m.hs.Shutdown(ctx)
+	m.srv.Shutdown()
+	m.app.Close()
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Train both monitors on the same clean demonstrations.
+	demos, err := synth.Generate(synth.Config{
+		Task: gesture.Suturing, Hz: 30, Seed: 11,
+		NumDemos: 12, NumTrials: 4, Subjects: 4, DurationScale: 0.35,
+	})
+	if err != nil {
+		return err
+	}
+	fold := dataset.LOSO(synth.Trajectories(demos))[0]
+	detectors := make(map[string]safemon.Detector, 2)
+	for _, name := range []string{"envelope", "skipchain"} {
+		det, err := safemon.Open(name, safemon.WithThreshold(0.6), safemon.WithSeed(11))
+		if err != nil {
+			return err
+		}
+		if err := det.Fit(ctx, fold.Train); err != nil {
+			return err
+		}
+		detectors[name] = det
+	}
+
+	// The closed-loop policy: confirm after 2 evidence frames, climb one
+	// rung per frame, latch at safe-stop. The threshold sits above the
+	// held-out trajectories' natural envelope excess, so only the attack
+	// can latch.
+	policy := guard.Policy{
+		Name: "stop-fast", Threshold: 0.6,
+		DebounceFrames: 2, ReleaseFrames: 2, EscalateFrames: 1,
+		InitialAction: guard.ActionWarn, MaxAction: guard.ActionSafeStop,
+		ReactionBudgetFrames: 5,
+	}
+
+	dir, err := os.MkdirTemp("", "incident-ledger-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- Flight 1: the attack is streamed live and latches. ----
+	svc, err := startService(dir, detectors, policy)
+	if err != nil {
+		return err
+	}
+
+	victim := fold.Test[0]
+	attack := faultinject.Fault{
+		Variable:    faultinject.GrasperAngle,
+		Target:      2.4, // forces the jaw wide open: needle-drop signature
+		StartFrac:   0.45,
+		Duration:    0.2,
+		Manipulator: kinematics.Left,
+		RampRate:    1.5,
+	}
+	compromised, onset, end, err := faultinject.Inject(victim, attack)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attack: grasper-angle ramp to %.1f rad over frames [%d,%d)\n", attack.Target, onset, end)
+
+	st, err := svc.client.OpenGuarded(ctx, "envelope", policy.Name, nil)
+	if err != nil {
+		return err
+	}
+	for i := range compromised.Frames {
+		if err := st.Send(&compromised.Frames[i]); err != nil {
+			return err
+		}
+		if _, err := st.Recv(); err != nil {
+			return err
+		}
+	}
+	if err := st.CloseSend(); err != nil {
+		return err
+	}
+	if _, err := st.Recv(); err != io.EOF {
+		return fmt.Errorf("stream did not finish cleanly: %v", err)
+	}
+	for _, a := range st.Actions() {
+		fmt.Printf("  live action: frame %4d  %-9s (score %.2f)\n", a.I, a.Level, a.Score)
+	}
+	st.Close()
+	svc.stop(ctx)
+	fmt.Println("service stopped; ledger sealed")
+
+	// ---- Flight 2: a fresh service over the same ledger directory. ----
+	svc, err = startService(dir, detectors, policy)
+	if err != nil {
+		return err
+	}
+	defer svc.stop(ctx)
+
+	incidents, err := svc.client.Incidents(ctx, 0)
+	if err != nil {
+		return err
+	}
+	if len(incidents) == 0 {
+		return fmt.Errorf("no incident survived the restart")
+	}
+	inc := incidents[0]
+	fmt.Printf("recovered incident %s: %s via %s/%s at frame %d, %d frames recorded\n",
+		inc.ID, inc.TriggerAction, inc.Backend, inc.Policy, inc.TriggerFrame, inc.Frames)
+
+	// Time travel 1: the original monitor must reproduce its own trail
+	// bit for bit from the recorded inputs.
+	res, err := svc.client.ReplayIncident(ctx, inc.ID, "", "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay via %s/%s: verdicts_match=%v actions_match=%v\n",
+		res.Replay.Backend, res.Replay.Policy, res.VerdictsMatch, res.ActionsMatch)
+	if !res.VerdictsMatch || !res.ActionsMatch {
+		return fmt.Errorf("replay fidelity lost")
+	}
+
+	// Time travel 2: the counterfactual — would the skip-chain monitor
+	// have stopped the robot too, and how much earlier or later?
+	alt, err := svc.client.ReplayIncident(ctx, inc.ID, "skipchain", "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("counterfactual via %s/%s:\n", alt.Replay.Backend, alt.Replay.Policy)
+	for _, a := range alt.Replay.Actions {
+		fmt.Printf("  replayed action: frame %4d  %-9s (score %.2f)\n", a.I, a.Level, a.Score)
+	}
+	if n, m := len(alt.Replay.Actions), len(res.Original.Actions); n > 0 && m > 0 {
+		delta := alt.Replay.Actions[n-1].I - res.Original.Actions[m-1].I
+		fmt.Printf("skip-chain reaches its final action %+d frames relative to the envelope\n", delta)
+	}
+	return nil
+}

@@ -37,19 +37,21 @@ type guardedSession struct {
 	last guard.Decision
 }
 
-// wrapGuard applies the session's guard option, if any. Backends call it
-// on their NewSession return value; on a policy validation error the
-// inner session is closed.
+// wrapGuard applies the session's guard and ledger options, if any.
+// Backends call it on their NewSession return value; on a policy
+// validation error the inner session is closed. The ledger wrapper goes
+// outside the guard wrapper so recorded action edges reflect the guard's
+// per-frame decisions.
 func wrapGuard(s Session, sc sessionConfig) (Session, error) {
-	if sc.guardPolicy == nil {
-		return s, nil
+	if sc.guardPolicy != nil {
+		eng, err := guard.NewEngine(*sc.guardPolicy)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s = &guardedSession{Session: s, eng: eng}
 	}
-	eng, err := guard.NewEngine(*sc.guardPolicy)
-	if err != nil {
-		s.Close()
-		return nil, err
-	}
-	return &guardedSession{Session: s, eng: eng}, nil
+	return wrapLedger(s, sc), nil
 }
 
 func (g *guardedSession) Push(f *Frame) (FrameVerdict, error) {

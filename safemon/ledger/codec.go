@@ -1,0 +1,281 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/kinematics"
+	"repro/safemon/guard"
+)
+
+// Segment record framing: every record is
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// in little-endian byte order. The payload is the canonical binary
+// encoding of one Event (encodeEvent); decodeEvent rejects anything that
+// is not a byte-exact canonical encoding, so decode(encode(e)) == e and
+// encode(decode(p)) == p — the round-trip property FuzzReadSegment pins.
+
+const (
+	// recordHeaderLen is the length+CRC prefix of every record.
+	recordHeaderLen = 8
+	// maxEventBytes caps one encoded event, mirroring the serve layer's
+	// 1 MB no-unbounded-buffering contract: generous for a labels header
+	// of a very long trajectory, fatal for a corrupt length field.
+	maxEventBytes = 1 << 20
+	// maxStringLen caps each metadata string (backend, model, policy,
+	// note); operational names are short, so anything longer is corrupt.
+	maxStringLen = 1 << 10
+	// maxLabels caps a session-start label sequence.
+	maxLabels = 1 << 18
+	// inputLen is the number of kinematic variables in one frame.
+	inputLen = kinematics.FrameSize
+
+	// event payload flags
+	flagUnsafe   = 1 << 0
+	flagHasInput = 1 << 1
+)
+
+// Decode-side sentinels. ErrTornRecord specifically reports a record that
+// is structurally incomplete (short header, short payload) — the shape a
+// crash mid-append leaves behind — as opposed to one that is present but
+// corrupt (bad CRC, malformed payload).
+var (
+	ErrTornRecord    = errors.New("ledger: torn record")
+	ErrCorruptRecord = errors.New("ledger: corrupt record")
+)
+
+// appendEvent appends e's framed record (header + canonical payload) to
+// buf and returns the extended slice.
+func appendEvent(buf []byte, e *Event) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below
+	p := len(buf)
+	buf = appendPayload(buf, e)
+	payload := buf[p:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// appendPayload appends the canonical event encoding.
+func appendPayload(buf []byte, e *Event) []byte {
+	buf = append(buf, byte(e.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Session)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.WallNS))
+	buf = appendString(buf, e.Backend)
+	buf = appendString(buf, e.Model)
+	buf = appendString(buf, e.Policy)
+	buf = appendString(buf, e.Note)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.FrameIndex))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Gesture))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Score))
+	var flags byte
+	if e.Unsafe {
+		flags |= flagUnsafe
+	}
+	if e.HasInput {
+		flags |= flagHasInput
+	}
+	buf = append(buf, flags, byte(e.Action))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.AlertFrame))
+	if e.HasInput {
+		for _, v := range e.Input {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Labels)))
+	for _, l := range e.Labels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// encodable reports whether e fits the codec's caps; the appender drops
+// (and counts) events that do not rather than poisoning the segment.
+func encodable(e *Event) bool {
+	return e.Kind.valid() &&
+		len(e.Backend) <= maxStringLen && len(e.Model) <= maxStringLen &&
+		len(e.Policy) <= maxStringLen && len(e.Note) <= maxStringLen &&
+		len(e.Labels) <= maxLabels
+}
+
+// payloadReader is a bounds-checked cursor over one record payload.
+type payloadReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *payloadReader) str() string {
+	n := int(r.u16())
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *payloadReader) fail() {
+	if r.err == nil {
+		r.err = ErrCorruptRecord
+	}
+}
+
+// decodeEvent parses one canonical payload into e. It never panics on
+// malformed input and rejects any payload that is not the byte-exact
+// canonical encoding of the event it describes (trailing bytes, unknown
+// flags, out-of-range enums).
+func decodeEvent(payload []byte, e *Event) error {
+	r := payloadReader{buf: payload}
+	*e = Event{}
+	e.Kind = Kind(r.u8())
+	e.Seq = r.u64()
+	e.Session = r.u64()
+	e.WallNS = int64(r.u64())
+	e.Backend = r.str()
+	e.Model = r.str()
+	e.Policy = r.str()
+	e.Note = r.str()
+	e.FrameIndex = int32(r.u32())
+	e.Gesture = int32(r.u32())
+	e.Score = math.Float64frombits(r.u64())
+	flags := r.u8()
+	e.Action = guard.Action(r.u8())
+	if e.Action > guard.ActionRetract {
+		r.fail()
+	}
+	e.AlertFrame = int32(r.u32())
+	if flags&^(flagUnsafe|flagHasInput) != 0 {
+		r.fail()
+	}
+	e.Unsafe = flags&flagUnsafe != 0
+	e.HasInput = flags&flagHasInput != 0
+	if e.HasInput {
+		for i := range e.Input {
+			e.Input[i] = math.Float64frombits(r.u64())
+		}
+	}
+	nLabels := int(r.u32())
+	if r.err == nil && nLabels > 0 {
+		if nLabels > maxLabels || r.off+4*nLabels > len(r.buf) {
+			r.fail()
+		} else {
+			e.Labels = make([]int32, nLabels)
+			for i := range e.Labels {
+				e.Labels[i] = int32(r.u32())
+			}
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if !e.Kind.valid() || r.off != len(payload) {
+		return ErrCorruptRecord
+	}
+	return nil
+}
+
+// ReadSegment decodes the framed records in data, calling fn (when
+// non-nil) for each decoded event until it returns false. It returns the
+// byte length of the clean record prefix and, when decoding stopped
+// early, the reason: ErrTornRecord for a structurally incomplete tail
+// (the shape a crash leaves), ErrCorruptRecord wrapped with the offset
+// for a CRC or payload failure. It never panics, whatever the bytes —
+// the property FuzzReadSegment pins. Crash recovery truncates a segment
+// to the returned prefix length instead of refusing to open it.
+func ReadSegment(data []byte, fn func(*Event) bool) (clean int64, err error) {
+	var e Event
+	off := 0
+	for off < len(data) {
+		if off+recordHeaderLen > len(data) {
+			return int64(off), ErrTornRecord
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxEventBytes {
+			return int64(off), fmt.Errorf("%w at offset %d: length %d exceeds %d", ErrCorruptRecord, off, n, maxEventBytes)
+		}
+		if off+recordHeaderLen+n > len(data) {
+			return int64(off), ErrTornRecord
+		}
+		payload := data[off+recordHeaderLen : off+recordHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return int64(off), fmt.Errorf("%w at offset %d: CRC mismatch", ErrCorruptRecord, off)
+		}
+		if err := decodeEvent(payload, &e); err != nil {
+			return int64(off), fmt.Errorf("%w at offset %d: %v", ErrCorruptRecord, off, err)
+		}
+		off += recordHeaderLen + n
+		if fn != nil && !fn(&e) {
+			return int64(off), nil
+		}
+	}
+	return int64(off), nil
+}
+
+// ReadSegmentFrom is ReadSegment over a reader (DiskStore scans segment
+// files through it without loading more than one segment at a time).
+func ReadSegmentFrom(r io.Reader, limit int64, fn func(*Event) bool) (int64, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit))
+	if err != nil {
+		return 0, err
+	}
+	return ReadSegment(data, fn)
+}

@@ -1,0 +1,136 @@
+package ledger
+
+import "sync"
+
+// MemoryStore is the in-process Store: a bounded ring of events that
+// retains the most recent entries and evicts the oldest once full. It is
+// the development/test backend and the zero-configuration default; it
+// implements Pinner as a no-op bookkeeping map so incident-retention
+// code paths behave identically across stores (eviction is strictly by
+// ring capacity — a pinned session only protects disk segments).
+type MemoryStore struct {
+	mu         sync.Mutex
+	ring       []Event
+	start      int // index of the oldest retained event
+	count      int
+	bytes      int64
+	maxSession uint64
+	pinned     map[uint64]struct{}
+}
+
+// DefaultMemoryEvents is the ring capacity NewMemoryStore uses for
+// capacity <= 0: about half an hour of a single 30 Hz verdict stream.
+const DefaultMemoryEvents = 1 << 16
+
+// NewMemoryStore builds a ring retaining at most capacity events.
+func NewMemoryStore(capacity int) *MemoryStore {
+	if capacity <= 0 {
+		capacity = DefaultMemoryEvents
+	}
+	return &MemoryStore{ring: make([]Event, capacity), pinned: map[uint64]struct{}{}}
+}
+
+// Append implements Store.
+func (s *MemoryStore) Append(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range events {
+		e := &events[i]
+		if s.count < len(s.ring) {
+			s.ring[(s.start+s.count)%len(s.ring)] = *e
+			s.count++
+		} else {
+			// Full: the oldest slot becomes the newest event.
+			s.bytes -= eventSize(&s.ring[s.start])
+			s.ring[s.start] = *e
+			s.start = (s.start + 1) % len(s.ring)
+		}
+		s.bytes += eventSize(e)
+		if e.Session > s.maxSession {
+			s.maxSession = e.Session
+		}
+	}
+	return nil
+}
+
+// eventSize approximates one event's footprint for SizeBytes, using the
+// encoded record length as the common currency across stores.
+func eventSize(e *Event) int64 {
+	n := int64(recordHeaderLen + 47 + len(e.Backend) + len(e.Model) + len(e.Policy) + len(e.Note) + 4*len(e.Labels))
+	if e.HasInput {
+		n += 8 * inputLen
+	}
+	return n
+}
+
+// Scan implements Store. fn runs under the store lock: it must not call
+// back into the store and should return promptly.
+func (s *MemoryStore) Scan(from uint64, fn func(*Event) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.count; i++ {
+		e := &s.ring[(s.start+i)%len(s.ring)]
+		if e.Seq < from {
+			continue
+		}
+		if !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Bounds implements Store.
+func (s *MemoryStore) Bounds() (first, last uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0, 0
+	}
+	return s.ring[s.start].Seq, s.ring[(s.start+s.count-1)%len(s.ring)].Seq
+}
+
+// MaxSession implements Store.
+func (s *MemoryStore) MaxSession() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSession
+}
+
+// SizeBytes implements Store.
+func (s *MemoryStore) SizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Sync implements Store (memory is always "synced").
+func (s *MemoryStore) Sync() error { return nil }
+
+// Close implements Store.
+func (s *MemoryStore) Close() error { return nil }
+
+// Pin implements Pinner.
+func (s *MemoryStore) Pin(session uint64) {
+	s.mu.Lock()
+	s.pinned[session] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Unpin implements Pinner.
+func (s *MemoryStore) Unpin(session uint64) {
+	s.mu.Lock()
+	delete(s.pinned, session)
+	s.mu.Unlock()
+}
+
+// Pinned implements Pinner.
+func (s *MemoryStore) Pinned() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.pinned))
+	for id := range s.pinned {
+		out = append(out, id)
+	}
+	return out
+}

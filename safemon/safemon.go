@@ -40,6 +40,7 @@ import (
 	"repro/internal/gesture"
 	"repro/internal/kinematics"
 	"repro/safemon/guard"
+	"repro/safemon/ledger"
 )
 
 // Core data types re-exported so callers need only this package.
@@ -156,8 +157,11 @@ type Session interface {
 type SessionOption func(*sessionConfig)
 
 type sessionConfig struct {
-	groundTruth []int
-	guardPolicy *guard.Policy
+	groundTruth   []int
+	guardPolicy   *guard.Policy
+	ledger        *ledger.Appender
+	ledgerBackend string
+	ledgerModel   string
 }
 
 // WithSessionLabels supplies per-frame ground-truth gesture labels to a

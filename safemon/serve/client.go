@@ -12,6 +12,7 @@ import (
 
 	"repro/safemon"
 	"repro/safemon/guard"
+	"repro/safemon/ledger"
 )
 
 // Client is a minimal safemond NDJSON client, used by the loadgen, the
@@ -122,6 +123,93 @@ func (c *Client) Policies(ctx context.Context) ([]guard.Policy, error) {
 		return nil, err
 	}
 	return out.Policies, nil
+}
+
+// Incidents fetches the server's captured incidents, newest first.
+// limit > 0 caps the list.
+func (c *Client) Incidents(ctx context.Context, limit int) ([]ledger.IncidentSummary, error) {
+	target := c.BaseURL + "/v1/incidents"
+	if limit > 0 {
+		target += fmt.Sprintf("?limit=%d", limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	var out struct {
+		Incidents []ledger.IncidentSummary `json:"incidents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Incidents, nil
+}
+
+// Incident fetches one incident's recorded trail.
+func (c *Client) Incident(ctx context.Context, id string) (*IncidentDetail, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/incidents/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	var out IncidentDetail
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReplayIncident re-runs a captured incident's recorded frames through a
+// served backend and guard policy; empty strings select the incident's
+// originals. The result carries the fresh verdict/action trail next to
+// the recorded one.
+func (c *Client) ReplayIncident(ctx context.Context, id, backend, policy string) (*ReplayResult, error) {
+	target := c.BaseURL + "/v1/incidents/" + url.PathEscape(id) + "/replay"
+	query := url.Values{}
+	if backend != "" {
+		query.Set("backend", backend)
+	}
+	if policy != "" {
+		query.Set("policy", policy)
+	}
+	if len(query) > 0 {
+		target += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	var out ReplayResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Stats fetches the server's /stats snapshot.

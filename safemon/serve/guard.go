@@ -16,7 +16,12 @@ type streamGuard struct {
 	policy string
 	mit    *mitigationCounters
 	last   guard.Counters
+	lastD  guard.Decision
 }
+
+// decision returns the engine's decision for the most recent step — the
+// structured twin of the wire ActionMsg, for ledger recording.
+func (g *streamGuard) decision() guard.Decision { return g.lastD }
 
 // newStreamGuard builds the per-stream engine for a validated policy.
 func newStreamGuard(p guard.Policy, mit *mitigationCounters) (*streamGuard, error) {
@@ -37,6 +42,7 @@ func newStreamGuard(p guard.Policy, mit *mitigationCounters) (*streamGuard, erro
 // touches no shared atomics.
 func (g *streamGuard) step(v VerdictMsg) *ActionMsg {
 	d := g.eng.Step(v.Verdict())
+	g.lastD = d
 	if !d.Changed {
 		return nil
 	}

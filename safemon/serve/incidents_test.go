@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/safemon"
+	"repro/safemon/guard"
+	"repro/safemon/ledger"
+)
+
+// newLedgeredService stands up a Server recording into an in-memory
+// ledger. The appender outlives the server (the server only borrows it),
+// so cleanup closes it after Shutdown.
+func newLedgeredService(t *testing.T, detectors map[string]safemon.Detector, policies ...guard.Policy) (*Server, *Client, *ledger.Appender) {
+	t.Helper()
+	app := ledger.NewAppender(ledger.NewMemoryStore(0), ledger.Options{})
+	t.Cleanup(func() { app.Close() })
+	srv, err := NewServer(Config{
+		Detectors: detectors,
+		Policies:  policies,
+		Ledger:    app,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown()
+	})
+	return srv, &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}, app
+}
+
+// driveIncident streams safe/wild/safe frames through a guarded stream so
+// the policy latches, and returns the verdicts and actions the live
+// stream delivered.
+func driveIncident(t *testing.T, client *Client, backend, policy string, frames []*safemon.Frame) ([]safemon.FrameVerdict, []ActionMsg) {
+	t.Helper()
+	ctx := context.Background()
+	st, err := client.OpenGuarded(ctx, backend, policy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var verdicts []safemon.FrameVerdict
+	for i, f := range frames {
+		if err := st.Send(f); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		v, err := st.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Recv(); err != io.EOF {
+		t.Fatalf("expected done, got %v", err)
+	}
+	return verdicts, st.Actions()
+}
+
+// incidentFrames is the canonical attack shape from the guard tests:
+// 5 safe, 4 wild, 5 safe — under the stop-fast policy the ladder reaches
+// safe-stop at frame 8 and latches.
+func incidentFrames(t *testing.T) []*safemon.Frame {
+	t.Helper()
+	safe, wild := guardProbeFrames(t)
+	frames := make([]*safemon.Frame, 0, 14)
+	for i := 0; i < 5; i++ {
+		frames = append(frames, &safe)
+	}
+	for i := 0; i < 4; i++ {
+		frames = append(frames, &wild)
+	}
+	for i := 0; i < 5; i++ {
+		frames = append(frames, &safe)
+	}
+	return frames
+}
+
+// waitIncidentClosed polls the incident detail until the recorder's
+// deferred session-end event lands (the handler emits Done to the client
+// before its deferred End runs, so list-after-EOF can race it briefly).
+func waitIncidentClosed(t *testing.T, client *Client, id string) *IncidentDetail {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		detail, err := client.Incident(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if detail.Closed || time.Now().After(deadline) {
+			return detail
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// wireMsgLines renders already-wire-form verdicts the same way wireLines
+// renders safemon verdicts, so trails from both sides compare as bytes.
+func wireMsgLines(t *testing.T, verdicts []VerdictMsg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, v := range verdicts {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestIncidentRoundTripOverServe is the incidents smoke test: a guarded
+// stream latches safe-stop, the incident shows up in GET /v1/incidents,
+// its detail carries the exact recorded trail, and a same-backend
+// same-policy replay reproduces that trail byte-identically.
+func TestIncidentRoundTripOverServe(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	_, client, _ := newLedgeredService(t, map[string]safemon.Detector{"envelope": det}, testGuardPolicy())
+	ctx := context.Background()
+
+	frames := incidentFrames(t)
+	verdicts, actions := driveIncident(t, client, "envelope", "stop-fast", frames)
+	if len(actions) == 0 || actions[len(actions)-1].Level != "safe-stop" {
+		t.Fatalf("stream did not latch: actions = %+v", actions)
+	}
+
+	incs, err := client.Incidents(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %+v, want exactly 1", incs)
+	}
+	inc := incs[0]
+	if inc.Backend != "envelope" || inc.Policy != "stop-fast" {
+		t.Errorf("incident context = %q/%q", inc.Backend, inc.Policy)
+	}
+	if inc.TriggerAction != "safe-stop" {
+		t.Errorf("trigger action = %q, want safe-stop", inc.TriggerAction)
+	}
+	if inc.TriggerFrame != 8 {
+		t.Errorf("trigger frame = %d, want 8", inc.TriggerFrame)
+	}
+
+	detail := waitIncidentClosed(t, client, inc.ID)
+	if !detail.Closed || detail.EndReason != "eof" {
+		t.Errorf("detail closed=%v end=%q, want closed eof", detail.Closed, detail.EndReason)
+	}
+	if detail.Frames != len(frames) {
+		t.Errorf("detail frames = %d, want %d", detail.Frames, len(frames))
+	}
+	if !bytes.Equal(wireMsgLines(t, detail.Verdicts), wireLines(t, verdicts)) {
+		t.Errorf("recorded verdicts differ from the live stream's")
+	}
+	if !reflect.DeepEqual(detail.Actions, actions) {
+		t.Errorf("recorded actions = %+v, want %+v", detail.Actions, actions)
+	}
+
+	res, err := client.ReplayIncident(ctx, inc.ID, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VerdictsMatch || !res.ActionsMatch {
+		t.Fatalf("replay fidelity: verdicts_match=%v actions_match=%v", res.VerdictsMatch, res.ActionsMatch)
+	}
+	if res.Replay.Backend != "envelope" || res.Replay.Policy != "stop-fast" {
+		t.Errorf("replay defaulted to %q/%q", res.Replay.Backend, res.Replay.Policy)
+	}
+	if !bytes.Equal(wireMsgLines(t, res.Replay.Verdicts), wireLines(t, verdicts)) {
+		t.Errorf("replayed verdicts differ from the live stream's")
+	}
+
+	// Unknown incidents and backends are 404s, not 500s.
+	if _, err := client.Incident(ctx, "inc-999"); err == nil {
+		t.Error("expected error for unknown incident")
+	}
+	if _, err := client.ReplayIncident(ctx, inc.ID, "no-such-backend", ""); err == nil {
+		t.Error("expected error for unknown replay backend")
+	}
+}
+
+// TestReplayFidelityAllBackends is the replay-fidelity golden test: for
+// every registered backend, an incident recorded through a live guarded
+// stream must replay byte-identically — same verdict records, same action
+// records — when re-run through the same backend and policy.
+func TestReplayFidelityAllBackends(t *testing.T) {
+	ctx := context.Background()
+	// Hair-trigger ladder so every backend's wild-frame scores latch.
+	pol := guard.Policy{
+		Name: "latch", Threshold: 1e-9,
+		DebounceFrames: 1, ReleaseFrames: 2, EscalateFrames: 1,
+		InitialAction: guard.ActionWarn, MaxAction: guard.ActionSafeStop,
+	}
+	frames := incidentFrames(t)
+	for _, backend := range []string{"context-aware", "lookahead", "monolithic", "envelope", "skipchain", "sdsdl"} {
+		t.Run(backend, func(t *testing.T) {
+			det := fittedDetector(t, backend)
+			_, client, _ := newLedgeredService(t, map[string]safemon.Detector{backend: det}, pol)
+
+			verdicts, _ := driveIncident(t, client, backend, "latch", frames)
+			incs, err := client.Incidents(ctx, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(incs) != 1 {
+				t.Fatalf("incidents = %+v, want exactly 1", incs)
+			}
+			res, err := client.ReplayIncident(ctx, incs[0].ID, "", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.VerdictsMatch {
+				t.Errorf("replayed verdicts differ:\noriginal %s\nreplay   %s",
+					wireMsgLines(t, res.Original.Verdicts), wireMsgLines(t, res.Replay.Verdicts))
+			}
+			if !res.ActionsMatch {
+				t.Errorf("replayed actions differ:\noriginal %+v\nreplay   %+v",
+					res.Original.Actions, res.Replay.Actions)
+			}
+			if !bytes.Equal(wireMsgLines(t, res.Replay.Verdicts), wireLines(t, verdicts)) {
+				t.Errorf("replayed verdicts differ from the live stream's")
+			}
+		})
+	}
+}
+
+// TestReplayAcrossBackendAndPolicy answers the "what would the other
+// monitor have done?" half of the replay contract: re-running a recorded
+// incident through a different backend must yield exactly what that
+// backend's offline session produces on the recorded inputs, and a
+// different policy must yield that policy's offline engine trail.
+func TestReplayAcrossBackendAndPolicy(t *testing.T) {
+	ctx := context.Background()
+	envelope := fittedDetector(t, "envelope")
+	skipchain := fittedDetector(t, "skipchain")
+	warnOnly := guard.Policy{
+		Name: "warn-only", Threshold: 1.0,
+		DebounceFrames: 2, ReleaseFrames: 2, EscalateFrames: 1,
+		InitialAction: guard.ActionWarn, MaxAction: guard.ActionWarn,
+		ReactionBudgetFrames: 5,
+	}
+	_, client, _ := newLedgeredService(t,
+		map[string]safemon.Detector{"envelope": envelope, "skipchain": skipchain},
+		testGuardPolicy(), warnOnly)
+
+	frames := incidentFrames(t)
+	driveIncident(t, client, "envelope", "stop-fast", frames)
+	incs, err := client.Incidents(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %+v, want exactly 1", incs)
+	}
+	id := incs[0].ID
+
+	// Offline reference: the same recorded inputs through a fresh
+	// skipchain session, verdicts stepped through the warn-only engine.
+	sess, err := skipchain.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	eng, err := guard.NewEngine(warnOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offline []safemon.FrameVerdict
+	var offlineActions []ActionMsg
+	for _, f := range frames {
+		v, err := sess.Push(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline = append(offline, v)
+		if d := eng.Step(v); d.Changed {
+			offlineActions = append(offlineActions, ActionMsg{
+				I: d.FrameIndex, Level: d.Action.String(),
+				AlertFrame: d.AlertFrame, Score: d.Score, Policy: "warn-only",
+			})
+		}
+	}
+
+	res, err := client.ReplayIncident(ctx, id, "skipchain", "warn-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replay.Backend != "skipchain" || res.Replay.Policy != "warn-only" {
+		t.Fatalf("replay ran as %q/%q", res.Replay.Backend, res.Replay.Policy)
+	}
+	if !bytes.Equal(wireMsgLines(t, res.Replay.Verdicts), wireLines(t, offline)) {
+		t.Errorf("cross-backend replay verdicts differ from the offline session's")
+	}
+	if len(res.Replay.Actions) != len(offlineActions) || (len(offlineActions) > 0 && !reflect.DeepEqual(res.Replay.Actions, offlineActions)) {
+		t.Errorf("cross-policy replay actions = %+v, want %+v", res.Replay.Actions, offlineActions)
+	}
+	// The original trail rode along unchanged.
+	if res.Original.Backend != "envelope" || res.Original.Policy != "stop-fast" {
+		t.Errorf("original trail labeled %q/%q", res.Original.Backend, res.Original.Policy)
+	}
+}
+
+// TestShutdownFlushesInFlightStream is the graceful-drain regression
+// test: with a stream still attached (no EOF sent), Shutdown must leave
+// every event already emitted durably visible in the store — the drain
+// may not lose the recorded tail.
+func TestShutdownFlushesInFlightStream(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	srv, client, app := newLedgeredService(t, map[string]safemon.Detector{"envelope": det})
+	ctx := context.Background()
+
+	st, err := client.Open(ctx, "envelope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	safe, _ := guardProbeFrames(t)
+	const sent = 3
+	for i := 0; i < sent; i++ {
+		if err := st.Send(&safe); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if _, err := st.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+
+	// The stream is mid-flight: no CloseSend, the handler is parked on
+	// its next record. Shutdown must return (it waits only for in-flight
+	// pushes) having flushed the appender.
+	srv.Shutdown()
+
+	var starts, verdicts int
+	err = app.Store().Scan(0, func(e *ledger.Event) bool {
+		switch e.Kind {
+		case ledger.KindSessionStart:
+			starts++
+		case ledger.KindVerdict:
+			verdicts++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starts != 1 || verdicts != sent {
+		t.Fatalf("after shutdown store has %d starts / %d verdicts, want 1 / %d", starts, verdicts, sent)
+	}
+}
+
+// TestStatsLedgerSection pins the /stats ledger observability contract:
+// a ledgered server reports the appender's counters through the typed
+// client, and a ledger-less server omits the section entirely.
+func TestStatsLedgerSection(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	_, client, app := newLedgeredService(t, map[string]safemon.Detector{"envelope": det})
+	ctx := context.Background()
+
+	traj := testFold(t).Test[0]
+	if _, err := client.StreamTrajectory(ctx, "envelope", traj); err != nil {
+		t.Fatal(err)
+	}
+	app.Flush()
+
+	snap, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := snap.Ledger
+	if ls == nil {
+		t.Fatal("ledgered /stats has no ledger section")
+	}
+	if ls.QueueCap <= 0 {
+		t.Errorf("queue cap = %d, want > 0", ls.QueueCap)
+	}
+	// One session: start + one verdict per frame + end.
+	wantEvents := uint64(traj.Len()) + 2
+	if ls.Appended < wantEvents {
+		t.Errorf("appended = %d, want >= %d", ls.Appended, wantEvents)
+	}
+	if ls.LastSeq < wantEvents {
+		t.Errorf("last seq = %d, want >= %d", ls.LastSeq, wantEvents)
+	}
+	if ls.Dropped != 0 || ls.Errors != 0 {
+		t.Errorf("dropped = %d errors = %d, want 0 / 0", ls.Dropped, ls.Errors)
+	}
+	if ls.Bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0", ls.Bytes)
+	}
+	if ls.Batches == 0 {
+		t.Errorf("batches = 0, want > 0")
+	}
+
+	// A ledger-less server keeps the pre-ledger payload shape.
+	_, bare := newTestService(t, map[string]safemon.Detector{"envelope": fittedDetector(t, "envelope")}, ManagerConfig{})
+	snap, err = bare.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ledger != nil {
+		t.Errorf("ledger-less /stats has ledger section %+v", snap.Ledger)
+	}
+
+	// The incident API without a ledger is 501, not a crash.
+	resp, err := bare.httpClient().Get(bare.BaseURL + "/v1/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("ledger-less /v1/incidents = %d, want 501", resp.StatusCode)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/safemon"
+	"repro/safemon/ledger"
 )
 
 // Model is one versioned fitted detector the service serves. Version is
@@ -158,12 +159,19 @@ func (s *Server) Reload(ctx context.Context) ([]ModelInfo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: load models: %w", err)
 	}
+	prev := make(map[string]string)
+	for _, mi := range s.manager.Models() {
+		prev[mi.Backend] = mi.Version
+	}
 	if err := s.manager.Swap(models); err != nil {
 		return nil, err
 	}
 	infos := s.manager.Models()
 	for _, mi := range infos {
 		s.logf("serving %s model %s", mi.Backend, mi.Version)
+		if prev[mi.Backend] != mi.Version {
+			ledger.ModelSwap(s.cfg.Ledger, mi.Backend, mi.Version, prev[mi.Backend])
+		}
 	}
 	return infos, nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/safemon"
 	"repro/safemon/guard"
+	"repro/safemon/ledger"
 )
 
 // Config assembles a Server.
@@ -46,6 +47,14 @@ type Config struct {
 	// of pinning them forever. <= 0 means 2 minutes; generous next to the
 	// 30 Hz kinematics rate the monitor is built for.
 	StreamIdleTimeout time.Duration
+	// Ledger, when set, records every stream into the durable event
+	// ledger — session lifecycle, per-frame verdicts (with their input
+	// frames), guard action edges, and model swaps — and enables the
+	// incident endpoints (GET /v1/incidents, POST
+	// /v1/incidents/{id}/replay). The appender's lifecycle belongs to
+	// the caller: Server.Shutdown flushes it but does not close it. Nil
+	// disables recording and the incident API.
+	Ledger *ledger.Appender
 	// Logf receives service log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -115,6 +124,8 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/models/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("/v1/incidents", s.handleIncidents)
+	s.mux.HandleFunc("/v1/incidents/", s.handleIncident)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
@@ -131,6 +142,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.manager.snapshot(s.manager.backendNames(), time.Since(s.start))
 	snap.Mitigation = s.mitigation.snapshot(s.policyNames)
+	if s.cfg.Ledger != nil {
+		ls := s.cfg.Ledger.Stats()
+		snap.Ledger = &ls
+	}
 	return snap
 }
 
@@ -158,15 +173,22 @@ func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// Every ledger event emitted so far reaches stable storage now, so a
+	// SIGTERM that never completes the full Shutdown still loses nothing.
+	s.cfg.Ledger.Flush()
 }
 
 // Shutdown completes the drain: after BeginDrain (called implicitly) the
-// shard manager waits for in-flight pushes and stops. Any stream still
-// attached — e.g. when the http.Server.Shutdown budget expired first —
-// fails its next push with ErrDraining and terminates.
+// shard manager waits for in-flight pushes and stops, then the ledger
+// appender is flushed and its store synced so no tail event is lost.
+// Closing the appender (which seals the active segment) remains the
+// owner's job — the server only borrows it. Any stream still attached —
+// e.g. when the http.Server.Shutdown budget expired first — fails its
+// next push with ErrDraining and terminates.
 func (s *Server) Shutdown() {
 	s.BeginDrain()
 	s.manager.Close()
+	s.cfg.Ledger.Flush()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -225,6 +247,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Guarded streams opt in per request; an unknown policy name is an
 	// admission failure, like an unknown backend.
 	var policy *guard.Policy
+	policyName := ""
 	if name := r.URL.Query().Get("policy"); name != "" {
 		p, ok := s.policies[name]
 		if !ok {
@@ -232,6 +255,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		policy = &p
+		policyName = name
 	}
 	if s.isDraining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -312,6 +336,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	healthy := true
 	defer func() { sess.Release(healthy) }()
 
+	// Ledger recording: the whole stream — lifecycle, verdicts with
+	// their input frames, guard edges — lands in the event log, where a
+	// latching action turns it into a replayable incident. A nil
+	// appender makes every recorder call a no-op.
+	rec := ledger.NewRecorder(s.cfg.Ledger, backend, sess.Version(), policyName)
+	rec.Start(labels32(labels))
+	frames := 0
+	endReason := "error: handler exit"
+	defer func() { rec.End(frames, endReason) }()
+
 	var sg *streamGuard
 	if policy != nil {
 		sg, err = newStreamGuard(*policy, &s.mitigation)
@@ -324,29 +358,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	frames := 0
 	for {
 		var msg *ClientMsg
 		if pending != nil {
 			msg, pending = pending, nil
 		} else {
-			var rec ClientMsg
+			var rc2 ClientMsg
 			armIdle()
-			switch err := dec.next(&rec); {
+			switch err := dec.next(&rc2); {
 			case errors.Is(err, io.EOF):
+				endReason = "eof"
 				emit(ServerMsg{Done: &DoneMsg{Frames: frames}})
 				return
 			case err != nil:
 				// Client hung up mid-record or sent garbage; either
 				// way the stream is over.
 				healthy = frames > 0 && errors.Is(err, io.ErrUnexpectedEOF)
+				endReason = "error: bad record"
 				emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()}})
 				return
 			}
-			msg = &rec
+			msg = &rc2
 		}
 		if len(msg.Frame) != frameSize {
 			healthy = false
+			endReason = "error: bad frame"
 			emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest,
 				Message: fmt.Sprintf("frame needs %d values, got %d", frameSize, len(msg.Frame))}})
 			return
@@ -356,21 +392,37 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		v, err := sess.Push(r.Context(), &frame)
 		if err != nil {
 			healthy = false
+			endReason = "error: push"
 			emit(ServerMsg{Error: pushError(err)})
 			return
 		}
 		frames++
 		wire := WireVerdict(v)
+		rec.Verdict(v, &frame)
 		if sg != nil {
 			// The engine steps on the verdict; an action edge is emitted
 			// immediately before it so a lockstep client sees the action
 			// no later than the verdict that caused it.
 			if act := sg.step(wire); act != nil {
+				rec.Action(sg.decision())
 				emit(ServerMsg{Action: act})
 			}
 		}
 		emit(ServerMsg{Verdict: &wire})
 	}
+}
+
+// labels32 converts a stream's ground-truth labels to the ledger's
+// compact form (nil in, nil out).
+func labels32(labels []int) []int32 {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		out[i] = int32(l)
+	}
+	return out
 }
 
 // openError maps session-admission failures onto wire records.

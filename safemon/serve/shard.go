@@ -181,13 +181,18 @@ func NewManagerModels(models map[string]Model, cfg ManagerConfig) (*Manager, err
 // Session is one stream attached to the manager: a pooled safemon session
 // pinned to a shard.
 type Session struct {
-	m     *Manager
-	sess  safemon.Session
-	shard *shard
-	pool  *safemon.SessionPool
-	reply chan pushResult
-	done  bool
+	m       *Manager
+	sess    safemon.Session
+	shard   *shard
+	pool    *safemon.SessionPool
+	reply   chan pushResult
+	version string
+	done    bool
 }
+
+// Version reports the model version the session was bound to at Open
+// (streams keep their version across hot-swaps).
+func (s *Session) Version() string { return s.version }
 
 // Reserve claims one session slot ahead of Open, so admission control can
 // answer before any stream bytes flow (HTTP 429/503 instead of an
@@ -249,11 +254,12 @@ func (m *Manager) Open(backend string, groundTruth []int) (*Session, error) {
 		sh.stats.sessionsOpened.Add(1)
 		sh.stats.sessionsActive.Add(1)
 		return &Session{
-			m:     m,
-			sess:  sess,
-			shard: sh,
-			pool:  bm.pool,
-			reply: make(chan pushResult, 1),
+			m:       m,
+			sess:    sess,
+			shard:   sh,
+			pool:    bm.pool,
+			reply:   make(chan pushResult, 1),
+			version: bm.version,
 		}, nil
 	}
 }

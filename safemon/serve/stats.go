@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/safemon/ledger"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i
@@ -102,7 +104,11 @@ type StatsSnapshot struct {
 	P50LatencyMS   float64            `json:"p50_latency_ms"`
 	P99LatencyMS   float64            `json:"p99_latency_ms"`
 	Mitigation     MitigationSnapshot `json:"mitigation"`
-	PerShard       []ShardSnapshot    `json:"per_shard"`
+	// Ledger is the event-ledger appender's counters; omitted entirely
+	// when the server runs without a ledger, so ledger-less payloads
+	// keep their pre-ledger shape.
+	Ledger   *ledger.Snapshot `json:"ledger,omitempty"`
+	PerShard []ShardSnapshot  `json:"per_shard"`
 }
 
 // snapshot renders the manager's counters. Quantile fields are NaN-free

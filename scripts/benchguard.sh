@@ -1,14 +1,16 @@
 #!/bin/sh
 # benchguard: the allocation-regression gate for the streaming hot path.
 #
-# Runs the per-backend session-step benchmarks with -benchmem — both the
-# fitted-detector path (BenchmarkSessionStep) and the artifact-loaded path
-# (BenchmarkSessionStepLoaded) — plus the guard policy engine's
-# BenchmarkGuardStep, and fails if any sub-benchmark reports more than 0
-# allocs/op: the zero-allocation guarantee README's Performance section
-# documents must hold for models loaded from artifacts exactly as it does
-# for freshly fitted ones, and the closed-loop guard must add nothing to
-# the per-frame path.
+# Runs the per-backend session-step benchmarks with -benchmem — the
+# fitted-detector path (BenchmarkSessionStep), the artifact-loaded path
+# (BenchmarkSessionStepLoaded), and the ledger-recording path
+# (BenchmarkSessionStepLedgered) — plus the guard policy engine's
+# BenchmarkGuardStep and the event ledger's emit path
+# (BenchmarkLedgerAppend), and fails if any sub-benchmark reports more
+# than 0 allocs/op: the zero-allocation guarantee README's Performance
+# section documents must hold for models loaded from artifacts exactly as
+# it does for freshly fitted ones, and neither the closed-loop guard nor
+# durable event recording may add anything to the per-frame path.
 # Run via `make bench-smoke` (or `make ci`, which includes it).
 set -eu
 cd "$(dirname "$0")/.."
@@ -16,7 +18,7 @@ cd "$(dirname "$0")/.."
 GO="${GO:-go}"
 BENCHTIME="${BENCHTIME:-10x}"
 
-out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep(Loaded)?$' \
+out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep(Loaded|Ledgered)?$' \
 	-benchtime="$BENCHTIME" -benchmem ./safemon/)" || {
 	echo "$out"
 	echo "benchguard: benchmark run failed" >&2
@@ -28,13 +30,20 @@ guardout="$("$GO" test -run='^$' -bench='^BenchmarkGuardStep$' \
 	echo "benchguard: guard benchmark run failed" >&2
 	exit 1
 }
+ledgerout="$("$GO" test -run='^$' -bench='^BenchmarkLedgerAppend$' \
+	-benchtime="$BENCHTIME" -benchmem ./safemon/ledger/)" || {
+	echo "$ledgerout"
+	echo "benchguard: ledger benchmark run failed" >&2
+	exit 1
+}
 out="$out
-$guardout"
+$guardout
+$ledgerout"
 echo "$out"
 
 # Benchmark lines end in "... <B> B/op  <N> allocs/op"; NF-1 is <N>.
 echo "$out" | awk '
-	/^Benchmark(SessionStep|GuardStep)/ {
+	/^Benchmark(SessionStep|GuardStep|LedgerAppend)/ {
 		if ($(NF-1) + 0 > 0) {
 			printf "benchguard: %s allocates %s allocs/op (budget: 0)\n", $1, $(NF-1)
 			bad = 1
@@ -45,4 +54,4 @@ echo "$out" | awk '
 	echo "benchguard: allocation budget exceeded on the session hot path" >&2
 	exit 1
 }
-echo "benchguard: all session-step and guard-step benchmarks within the 0 allocs/op budget"
+echo "benchguard: all session-step, guard-step and ledger-append benchmarks within the 0 allocs/op budget"
