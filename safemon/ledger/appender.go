@@ -142,7 +142,11 @@ func (a *Appender) run() {
 			batch = a.write(batch)
 		case ack := <-a.flush:
 			batch = a.write(a.drain(batch))
-			a.store.Sync()
+			if err := a.store.Sync(); err != nil {
+				// Flush is the drain-time durability barrier; a failed
+				// fsync must show up in /stats, not vanish.
+				a.errs.Add(1)
+			}
 			close(ack)
 		case <-a.quit:
 			batch = a.write(a.drain(batch))

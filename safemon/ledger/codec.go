@@ -102,13 +102,36 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// encodedSize returns the exact payload length appendPayload would
+// produce for e. It must mirror appendPayload field for field: the
+// writer-side cap check compares it against maxEventBytes, the same
+// bound ReadSegment enforces on the length prefix.
+func encodedSize(e *Event) int {
+	n := 1 + // kind
+		8 + 8 + 8 + // seq, session, wall
+		2 + len(e.Backend) + 2 + len(e.Model) + 2 + len(e.Policy) + 2 + len(e.Note) +
+		4 + 4 + 8 + // frame index, gesture, score
+		2 + // flags, action
+		4 + // alert frame
+		4 + 4*len(e.Labels)
+	if e.HasInput {
+		n += 8 * inputLen
+	}
+	return n
+}
+
 // encodable reports whether e fits the codec's caps; the appender drops
 // (and counts) events that do not rather than poisoning the segment.
+// The encodedSize bound is the authoritative check: every event it
+// admits frames to a record ReadSegment accepts, so a single oversized
+// event (e.g. a session-start whose labels alone approach maxEventBytes)
+// can never make the whole segment scan as corrupt.
 func encodable(e *Event) bool {
 	return e.Kind.valid() &&
 		len(e.Backend) <= maxStringLen && len(e.Model) <= maxStringLen &&
 		len(e.Policy) <= maxStringLen && len(e.Note) <= maxStringLen &&
-		len(e.Labels) <= maxLabels
+		len(e.Labels) <= maxLabels &&
+		encodedSize(e) <= maxEventBytes
 }
 
 // payloadReader is a bounds-checked cursor over one record payload.

@@ -139,7 +139,7 @@ func (s *DiskStore) recover() error {
 	sort.Strings(names) // zero-padded names sort by first sequence
 	for _, name := range names {
 		path := filepath.Join(s.dir, name)
-		seg, truncated, err := indexSegment(path)
+		seg, latched, truncated, err := indexSegment(path)
 		if err != nil {
 			return err
 		}
@@ -162,39 +162,41 @@ func (s *DiskStore) recover() error {
 				s.maxSession = sess
 			}
 		}
-	}
-	// Latching mitigation actions mark incident sessions; re-pin them so
-	// compaction keeps honoring incidents across restarts.
-	for _, seg := range s.segs {
-		_ = scanFile(seg, 0, func(e *Event) bool {
-			if e.Kind == KindAction && e.Action.Latches() {
-				s.pinned[e.Session] = struct{}{}
-			}
-			return true
-		})
+		// Latching mitigation actions mark incident sessions; re-pin them
+		// so compaction keeps honoring incidents across restarts.
+		for _, sess := range latched {
+			s.pinned[sess] = struct{}{}
+		}
 	}
 	return nil
 }
 
 // indexSegment reads one segment file, truncates any torn or corrupt
-// tail, and returns its index entry plus the number of bytes dropped.
-func indexSegment(path string) (*segment, int64, error) {
+// tail, and returns its index entry, the sessions on which a latching
+// mitigation engaged (for re-pinning), and the number of bytes dropped.
+// Latch detection rides the indexing scan so recovery reads each file
+// exactly once.
+func indexSegment(path string) (*segment, []uint64, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("ledger: read segment %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("ledger: read segment %s: %w", path, err)
 	}
 	seg := &segment{path: path, sessions: map[uint64]struct{}{}}
+	var latched []uint64
 	clean, scanErr := ReadSegment(data, func(e *Event) bool {
 		seg.noteEvent(e)
+		if e.Kind == KindAction && e.Action.Latches() {
+			latched = append(latched, e.Session)
+		}
 		return true
 	})
 	seg.size = clean
 	if scanErr != nil && clean < int64(len(data)) {
 		if err := os.Truncate(path, clean); err != nil {
-			return nil, 0, fmt.Errorf("ledger: truncate torn tail of %s: %w", path, err)
+			return nil, nil, 0, fmt.Errorf("ledger: truncate torn tail of %s: %w", path, err)
 		}
 	}
-	return seg, int64(len(data)) - clean, nil
+	return seg, latched, int64(len(data)) - clean, nil
 }
 
 // noteEvent folds one event into the segment's index entry.
@@ -245,7 +247,10 @@ func (s *DiskStore) Append(events []Event) error {
 		if e.Kind == KindAction && e.Action.Latches() {
 			s.pinned[e.Session] = struct{}{}
 		}
-		if s.firstSeq == 0 {
+		// firstSeq > lastSeq marks a store that retains nothing (all
+		// remaining segments empty after compaction): re-anchor on the
+		// first event to land.
+		if s.firstSeq == 0 || s.firstSeq > s.lastSeq {
 			s.firstSeq = e.Seq
 		}
 		if e.Seq > s.lastSeq {
@@ -321,9 +326,23 @@ func (s *DiskStore) compactLocked() {
 		}
 		os.Remove(seg.path)
 		s.segs = s.segs[1:]
-		s.firstSeq = s.segs[0].firstSeq
+		s.firstSeq = firstRetainedSeq(s.segs, s.lastSeq)
 		s.compacted++
 	}
+}
+
+// firstRetainedSeq is the first sequence of the oldest non-empty
+// remaining segment. A freshly rotated active segment has firstSeq 0
+// until its first batch lands, so it must be skipped — otherwise Bounds
+// would report first=0 while last>0. With only empty segments left, the
+// next event to land will be lastSeq+1.
+func firstRetainedSeq(segs []*segment, lastSeq uint64) uint64 {
+	for _, seg := range segs {
+		if seg.firstSeq != 0 {
+			return seg.firstSeq
+		}
+	}
+	return lastSeq + 1
 }
 
 // segmentPinnedLocked reports whether any of the segment's sessions is
@@ -486,10 +505,15 @@ func (s *DiskStore) Pin(session uint64) {
 	s.mu.Unlock()
 }
 
-// Unpin implements Pinner.
+// Unpin implements Pinner. Compaction runs immediately so that
+// acknowledging an incident reclaims the disk it was holding without
+// waiting for the next rotation.
 func (s *DiskStore) Unpin(session uint64) {
 	s.mu.Lock()
 	delete(s.pinned, session)
+	if !s.closed {
+		s.compactLocked()
+	}
 	s.mu.Unlock()
 }
 

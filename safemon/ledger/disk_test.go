@@ -282,6 +282,85 @@ func TestDiskStoreCompactionSkipsPinned(t *testing.T) {
 	}
 }
 
+func TestDiskStoreBoundsAfterCompactingToEmptyActive(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes/MaxBytes of 1 byte: every append rotates and every
+	// rotation compacts the sealed predecessor away, so right after
+	// rotation the only remaining segment is the fresh, still-empty
+	// active one.
+	s, err := OpenDisk(dir, DiskConfig{SegmentBytes: 1, MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append([]Event{diskEvent(1, 1, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Rotate by hand so the empty-active state is observable (Append
+	// normally refills firstSeq before releasing the lock; a failed write
+	// after rotation would leave this state behind).
+	s.mu.Lock()
+	if err := s.rotateLocked(2); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	first, last := s.firstSeq, s.lastSeq
+	s.mu.Unlock()
+	if first == 0 || first != last+1 {
+		t.Fatalf("bounds over empty active segment = (%d,%d), want first=last+1", first, last)
+	}
+	// The next append must re-anchor firstSeq on the event that lands.
+	if err := s.Append([]Event{diskEvent(2, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	first, last = s.Bounds()
+	if first != 2 || last != 2 {
+		t.Fatalf("bounds after re-anchor = (%d,%d), want (2,2)", first, last)
+	}
+}
+
+func TestDiskStoreUnpinCompactsImmediately(t *testing.T) {
+	dir := t.TempDir()
+	one := appendEvent(nil, &[]Event{diskEvent(1, 1, 0)}[0])
+	segBytes := int64(len(one)) * 2
+	s, err := OpenDisk(dir, DiskConfig{SegmentBytes: segBytes, MaxBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	latch := Event{Kind: KindAction, Seq: 1, Session: 1, WallNS: 1, Backend: "context",
+		Action: guard.ActionSafeStop, AlertFrame: 0}
+	if err := s.Append([]Event{latch}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 40; i++ {
+		if err := s.Append([]Event{diskEvent(uint64(i), uint64(i), int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinnedSize := s.SizeBytes()
+	if pinnedSize <= s.cfg.MaxBytes {
+		t.Fatalf("pinned incident did not hold size over budget: %d <= %d", pinnedSize, s.cfg.MaxBytes)
+	}
+	// Acknowledging the incident must reclaim the backlog right away —
+	// not at the next rotation, which an idle deployment may never reach.
+	s.Unpin(1)
+	if got := s.SizeBytes(); got >= pinnedSize {
+		t.Fatalf("Unpin did not compact: %d bytes before, %d after", pinnedSize, got)
+	}
+	gone := true
+	s.Scan(0, func(e *Event) bool {
+		if e.Session == 1 {
+			gone = false
+			return false
+		}
+		return true
+	})
+	if !gone {
+		t.Fatal("unpinned incident events survived immediate compaction")
+	}
+}
+
 func TestDiskStorePinSurvivesReopen(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenDisk(dir, DiskConfig{})

@@ -137,6 +137,93 @@ func TestReadSegmentCorruptRecord(t *testing.T) {
 	}
 }
 
+func TestEncodableCapsRecordSize(t *testing.T) {
+	// The largest label count the codec admits: everything encodable must
+	// frame to a record ReadSegment accepts.
+	base := Event{Kind: KindSessionStart, Seq: 1, Session: 1, Backend: "context", Model: "v1", Policy: "default"}
+	fit := (maxEventBytes - encodedSize(&base)) / 4
+	if fit > maxLabels {
+		fit = maxLabels
+	}
+	big := base
+	big.Labels = make([]int32, fit)
+	if !encodable(&big) {
+		t.Fatalf("event with %d labels not encodable", fit)
+	}
+	buf := appendEvent(nil, &big)
+	n := 0
+	if clean, err := ReadSegment(buf, func(e *Event) bool { n++; return true }); err != nil || clean != int64(len(buf)) || n != 1 {
+		t.Fatalf("boundary event rejected by its own decoder: n=%d clean=%d err=%v", n, clean, err)
+	}
+
+	// One label more and the record would exceed maxEventBytes: the
+	// writer must refuse it, because ReadSegment would call the whole
+	// segment corrupt at that record.
+	over := base
+	over.Labels = make([]int32, fit+1)
+	if encodable(&over) {
+		t.Fatalf("event encoding to %d bytes (> %d) passed encodable", encodedSize(&over), maxEventBytes)
+	}
+}
+
+func TestEmitDropsOversizedEventWithoutPoisoningSegment(t *testing.T) {
+	// The review scenario: a session-start whose labels fit maxLabels but
+	// encode past maxEventBytes must be dropped at Emit, not written —
+	// otherwise one stream makes every subsequent Scan fail and recovery
+	// truncate the tail.
+	dir := t.TempDir()
+	s, err := OpenDisk(dir, DiskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAppender(s, Options{})
+	oversized := Event{Kind: KindSessionStart, Session: 1, Labels: make([]int32, maxLabels)}
+	a.Emit(&oversized)
+	good := Event{Kind: KindVerdict, Session: 1, HasInput: true}
+	a.Emit(&good)
+	a.Flush()
+	if st := a.Stats(); st.Dropped != 1 || st.Appended != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped / 1 appended", st)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The segment must reopen clean: nothing truncated, the good event
+	// retained.
+	s2, err := OpenDisk(dir, DiskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.RecoveredBytes() != 0 {
+		t.Fatalf("recovery truncated %d bytes of a segment that must be clean", s2.RecoveredBytes())
+	}
+	n := 0
+	if err := s2.Scan(0, func(e *Event) bool { n++; return true }); err != nil {
+		t.Fatalf("scan after oversized emit: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("retained %d events, want 1", n)
+	}
+}
+
+// failingSyncStore simulates an fsync failure at the durability barrier.
+type failingSyncStore struct{ *MemoryStore }
+
+func (s *failingSyncStore) Sync() error { return errors.New("fsync failed") }
+
+func TestFlushCountsSyncFailure(t *testing.T) {
+	a := NewAppender(&failingSyncStore{NewMemoryStore(0)}, Options{})
+	e := Event{Kind: KindVerdict, Session: 1}
+	a.Emit(&e)
+	a.Flush()
+	if st := a.Stats(); st.Errors == 0 {
+		t.Fatalf("flush-time sync failure invisible in stats: %+v", st)
+	}
+	a.Close()
+}
+
 func TestMemoryStoreRing(t *testing.T) {
 	s := NewMemoryStore(4)
 	for i := 1; i <= 6; i++ {

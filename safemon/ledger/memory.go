@@ -49,6 +49,12 @@ func (s *MemoryStore) Append(events []Event) error {
 		if e.Session > s.maxSession {
 			s.maxSession = e.Session
 		}
+		// Mirror the disk store's append-time auto-pin so Pinned() lists
+		// unacknowledged incidents identically across stores (eviction
+		// still ignores pins — the ring is strictly capacity-bounded).
+		if e.Kind == KindAction && e.Action.Latches() {
+			s.pinned[e.Session] = struct{}{}
+		}
 	}
 	return nil
 }

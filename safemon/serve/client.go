@@ -176,6 +176,27 @@ func (c *Client) Incident(ctx context.Context, id string) (*IncidentDetail, erro
 	return &out, nil
 }
 
+// ResolveIncident acknowledges a captured incident: the server unpins
+// its ledger segments so retention may reclaim them. The incident stays
+// listable and replayable until compaction actually removes its events.
+func (c *Client) ResolveIncident(ctx context.Context, id string) error {
+	target := c.BaseURL + "/v1/incidents/" + url.PathEscape(id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, target, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &ErrorMsg{Code: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return nil
+}
+
 // ReplayIncident re-runs a captured incident's recorded frames through a
 // served backend and guard policy; empty strings select the incident's
 // originals. The result carries the fresh verdict/action trail next to

@@ -15,11 +15,14 @@ import (
 
 // Incident API, backed by the event ledger:
 //
-//	GET  /v1/incidents                      list captured incidents
-//	GET  /v1/incidents/{id}                 one incident's recorded trail
-//	POST /v1/incidents/{id}/replay          time-travel replay: re-run the
-//	     [?backend=NAME][&policy=NAME]      recorded input stream through
+//	GET    /v1/incidents                    list captured incidents
+//	GET    /v1/incidents/{id}               one incident's recorded trail
+//	POST   /v1/incidents/{id}/replay        time-travel replay: re-run the
+//	       [?backend=NAME][&policy=NAME]    recorded input stream through
 //	                                        any served backend and policy
+//	DELETE /v1/incidents/{id}               acknowledge: unpin the
+//	                                        incident's segments so
+//	                                        retention may reclaim them
 //
 // An incident is a recorded session on which a latching mitigation
 // (safe-stop, retract) engaged; it is derived from the ledger on demand,
@@ -28,6 +31,11 @@ import (
 // policy, where it must reproduce the original verdict/action trail
 // byte-identically (the replay-fidelity golden test); naming a different
 // backend or policy answers "what would the other monitor have done?".
+//
+// An incident pins the disk segments holding its session until it is
+// acknowledged via DELETE, so the retention budget (-ledger-max-bytes)
+// can only bound disk usage on a deployment that acknowledges its
+// incidents once diagnosed.
 
 // ErrNoLedger reports an incident request on a server constructed
 // without a ledger.
@@ -104,6 +112,36 @@ func (s *Server) Incident(id string) (*IncidentDetail, error) {
 		return nil, err
 	}
 	return incidentDetail(inc), nil
+}
+
+// ResolveIncident acknowledges an incident (the DELETE /v1/incidents/{id}
+// handler): the session is unpinned so retention may reclaim the
+// segments backing it. The events themselves are not deleted — until
+// compaction actually removes them the incident remains listable and
+// replayable; resolving is the explicit "diagnosed, disk may go" signal
+// without which pinned segments would accumulate forever.
+func (s *Server) ResolveIncident(id string) error {
+	store := s.ledgerStore()
+	if store == nil {
+		return ErrNoLedger
+	}
+	session, err := ledger.ParseIncidentID(id)
+	if err != nil {
+		return err
+	}
+	pinner, ok := store.(ledger.Pinner)
+	if !ok {
+		return fmt.Errorf("serve: ledger store cannot pin incidents")
+	}
+	// A just-latched incident pins at append time; flush so it is visible.
+	s.cfg.Ledger.Flush()
+	for _, pinned := range pinner.Pinned() {
+		if pinned == session {
+			pinner.Unpin(session)
+			return nil
+		}
+	}
+	return ledger.ErrNoIncident{Session: session}
 }
 
 // incidentDetail renders a ledger incident in wire form.
@@ -299,20 +337,27 @@ func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
-		return
-	}
 	if strings.Contains(rest, "/") {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
-	detail, err := s.Incident(rest)
-	if err != nil {
-		writeIncidentError(w, err)
-		return
+	switch r.Method {
+	case http.MethodGet:
+		detail, err := s.Incident(rest)
+		if err != nil {
+			writeIncidentError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, detail)
+	case http.MethodDelete:
+		if err := s.ResolveIncident(rest); err != nil {
+			writeIncidentError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": rest, "resolved": true})
+	default:
+		http.Error(w, "GET or DELETE only", http.StatusMethodNotAllowed)
 	}
-	writeJSON(w, http.StatusOK, detail)
 }
 
 // writeIncidentError maps incident-API failures onto HTTP statuses.

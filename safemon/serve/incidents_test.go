@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -189,6 +190,47 @@ func TestIncidentRoundTripOverServe(t *testing.T) {
 	}
 	if _, err := client.ReplayIncident(ctx, inc.ID, "no-such-backend", ""); err == nil {
 		t.Error("expected error for unknown replay backend")
+	}
+}
+
+func TestResolveIncidentUnpins(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	_, client, app := newLedgeredService(t, map[string]safemon.Detector{"envelope": det}, testGuardPolicy())
+	ctx := context.Background()
+
+	driveIncident(t, client, "envelope", "stop-fast", incidentFrames(t))
+	incs, err := client.Incidents(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %+v, want exactly 1", incs)
+	}
+	pinner := app.Store().(ledger.Pinner)
+	if pins := pinner.Pinned(); len(pins) != 1 || pins[0] != incs[0].Session {
+		t.Fatalf("pinned = %v, want [%d]", pins, incs[0].Session)
+	}
+
+	// Acknowledge: the pin goes away so retention can reclaim the
+	// segments; the events themselves are untouched, so the incident is
+	// still listable and replayable until compaction removes them.
+	if err := client.ResolveIncident(ctx, incs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if pins := pinner.Pinned(); len(pins) != 0 {
+		t.Fatalf("pins after resolve = %v, want none", pins)
+	}
+	if after, err := client.Incidents(ctx, 0); err != nil || len(after) != 1 {
+		t.Fatalf("resolved incident no longer listable: %v %v", after, err)
+	}
+
+	// A second resolve and a bogus ID are 404s, not 500s.
+	for _, id := range []string{incs[0].ID, "inc-999", "not-an-id"} {
+		err := client.ResolveIncident(ctx, id)
+		var em *ErrorMsg
+		if !errors.As(err, &em) || em.Code != http.StatusNotFound {
+			t.Errorf("resolve %q: err = %v, want 404", id, err)
+		}
 	}
 }
 
