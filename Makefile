@@ -12,11 +12,16 @@
 #   make bench-smoke - per-backend session-step benchmarks (fitted AND
 #                      artifact-loaded) plus the guard policy engine's
 #                      BenchmarkGuardStep with -benchmem, gated by
-#                      scripts/benchguard.sh (0 allocs/op budget)
+#                      scripts/benchguard.sh: 0 allocs/op, and the median
+#                      of BENCHCOUNT repeats must stay within the per-
+#                      benchmark ns/op budgets in scripts/bench_baseline.txt
+#                      (scale them on slower machines with
+#                      BENCHGUARD_NSOP_SCALE=<mult>)
 #   make mitigate-smoke - tiny closed-loop reaction campaign: the guarded
-#                      context-aware monitor must prevent >=1 block-drop
-#                      hazard the unguarded baseline suffers, with zero
-#                      false stops on fault-free runs
+#                      context-aware monitor AND the cascade gating it must
+#                      each prevent >=1 block-drop hazard the unguarded
+#                      baseline suffers, with zero false stops on
+#                      fault-free runs
 #   make incidents-smoke - record -> safe-stop -> replay round-trip: guarded
 #                      streams with injected faults latch incidents into an
 #                      on-disk event ledger, and every incident must replay
@@ -63,9 +68,11 @@ race:
 bench:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
 
-# Session-step micro-benchmarks with allocation accounting; fails CI when
-# any backend's warm per-frame path — fitted or artifact-loaded — regresses
-# above 0 allocs/op.
+# Session-step micro-benchmarks with allocation and latency accounting;
+# fails CI when any backend's warm per-frame path — fitted or
+# artifact-loaded — allocates, or when its median ns/op over BENCHCOUNT
+# repeats exceeds the budget in scripts/bench_baseline.txt (override for
+# slower machines with BENCHGUARD_NSOP_SCALE=<multiplier>).
 bench-smoke benchguard:
 	sh scripts/benchguard.sh
 
@@ -87,9 +94,10 @@ lifecycle-smoke:
 	$(GO) test -run='^TestLifecycleSmoke$$' -count=1 -v ./cmd/safemond/
 
 # The closed-loop mitigation smoke: a tiny deterministic reaction campaign
-# (internal/mitigation) in which the guarded context-aware monitor must
-# prevent at least one block-drop hazard the unguarded baseline suffers
-# and engage zero stopping actions on fault-free trajectories.
+# (internal/mitigation) in which the guarded context-aware monitor and the
+# cascade backend gating it must each prevent at least one block-drop
+# hazard the unguarded baseline suffers and engage zero stopping actions
+# on fault-free trajectories.
 mitigate-smoke:
 	$(GO) test -run='^TestMitigateSmoke$$' -count=1 -v ./internal/mitigation/
 

@@ -35,7 +35,7 @@ func runMitigate(opts experiments.Options, mo mitigateOptions) (renderer, error)
 	}
 	switch mo.backends {
 	case "":
-		// Campaign default (context-aware vs. envelope).
+		// Campaign default (context-aware vs. cascade vs. envelope).
 	case "all":
 		cfg.Backends = safemon.Backends()
 	default:

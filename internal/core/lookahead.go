@@ -120,6 +120,13 @@ func (ls *LookaheadStream) Reset(groundTruth []int) error {
 	return ls.base.Reset(groundTruth)
 }
 
+// Observe advances the stream's windows without inference (see
+// Stream.Observe); the lookahead head reads the same base windows, so no
+// extra state needs warming.
+func (ls *LookaheadStream) Observe(f *kinematics.Frame) {
+	ls.base.Observe(f)
+}
+
 // Push consumes one frame and returns the lookahead-blended verdict.
 func (ls *LookaheadStream) Push(f *kinematics.Frame) FrameVerdict {
 	v := ls.base.Push(f)

@@ -294,6 +294,30 @@ func (s *Stream) Reset(groundTruth []int) error {
 	return nil
 }
 
+// Observe consumes one kinematics frame without running any neural
+// inference: the sliding windows of both stages advance (feature
+// extraction and standardization still happen — they are the cheap part of
+// Push), but neither the gesture classifier nor an error head executes.
+//
+// It exists for cascade-style gating: a front filter can keep a monitor
+// stream's evidence windows warm at negligible per-frame cost, so when
+// suspicion arms the monitor its next Push scores exactly the window an
+// always-on monitor would have seen.
+func (s *Stream) Observe(f *kinematics.Frame) {
+	m := s.m
+	s.frameIdx++
+	if s.gesturePred != nil {
+		row := s.gestureExt.ExtractInto(f, s.gestureWin.next())
+		if m.Gestures.Standardizer != nil {
+			m.Gestures.Standardizer.Transform(row)
+		}
+	}
+	row := s.errorExt.ExtractInto(f, s.errorWin.next())
+	if m.Errors.Standardizer != nil {
+		m.Errors.Standardizer.Transform(row)
+	}
+}
+
 // Push consumes one kinematics frame and returns the verdict for it.
 func (s *Stream) Push(f *kinematics.Frame) FrameVerdict {
 	m := s.m

@@ -28,7 +28,8 @@ type CampaignConfig struct {
 	// the detector at simulation rate (default 30).
 	Hz float64
 	// Backends are the detector backends to campaign (default
-	// context-aware and envelope — the paper's headline contrast).
+	// context-aware, cascade and envelope — the paper's headline
+	// contrast plus the gated variant of its monitor).
 	Backends []string
 	// Policy is the guard policy every backend runs (zero value: the
 	// campaign default, see CampaignPolicy).
@@ -64,7 +65,7 @@ func (c CampaignConfig) withDefaults() CampaignConfig {
 		c.Hz = 30
 	}
 	if len(c.Backends) == 0 {
-		c.Backends = []string{"context-aware", "envelope"}
+		c.Backends = []string{"context-aware", "cascade", "envelope"}
 	}
 	if c.Policy.Threshold == 0 && c.Policy.Name == "" {
 		c.Policy = CampaignPolicy()

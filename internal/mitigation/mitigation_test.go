@@ -13,13 +13,14 @@ import (
 	"repro/safemon/guard"
 )
 
-// smokeConfig is the tiny CI campaign behind `make mitigate-smoke`: one
-// backend, quick training, a handful of paired runs. Deterministic.
+// smokeConfig is the tiny CI campaign behind `make mitigate-smoke`: the
+// context-aware monitor plus the cascade that gates it, quick training, a
+// handful of paired runs. Deterministic.
 func smokeConfig() CampaignConfig {
 	return CampaignConfig{
 		Seed:               7,
 		Hz:                 30,
-		Backends:           []string{"context-aware"},
+		Backends:           []string{"context-aware", "cascade"},
 		GroundTruthContext: true,
 		TrainDemos:         6,
 		TrainInjections:    12,
@@ -31,40 +32,43 @@ func smokeConfig() CampaignConfig {
 }
 
 // TestMitigateSmoke is the closed-loop acceptance gate: on the injected
-// suite the guarded context-aware monitor must prevent at least one
+// suite each guarded backend — the context-aware monitor and the cascade
+// that gates it behind the envelope front — must prevent at least one
 // block-drop hazard the unguarded baseline suffers, and on fault-free
 // trajectories it must never engage a stopping action.
 func TestMitigateSmoke(t *testing.T) {
-	res, err := RunCampaign(context.Background(), smokeConfig())
+	cfg := smokeConfig()
+	res, err := RunCampaign(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Reports) != 1 {
-		t.Fatalf("reports = %d, want 1", len(res.Reports))
+	if len(res.Reports) != len(cfg.Backends) {
+		t.Fatalf("reports = %d, want %d", len(res.Reports), len(cfg.Backends))
 	}
-	rep := res.Reports[0]
 	t.Logf("\n%s", res.Render())
-	if rep.BaselineDrops == 0 {
-		t.Fatal("no baseline block-drops: the eval fault band no longer causes hazards")
-	}
-	if rep.Prevented == 0 {
-		t.Errorf("prevented = 0 of %d baseline drops; the loop is not closing", rep.BaselineDrops)
-	}
-	if rep.FalseStops != 0 {
-		t.Errorf("false stops = %d on %d fault-free runs, want 0", rep.FalseStops, rep.FaultFreeRuns)
-	}
-	if rep.FaultFreeRuns == 0 {
-		t.Error("no fault-free runs were evaluated")
-	}
-	if rep.Prevented > 0 && rep.Stops == 0 {
-		t.Error("hazards were prevented without any stopping action: accounting is broken")
-	}
-	if rep.Prevented+rep.Missed != rep.BaselineDrops {
-		t.Errorf("ledger does not balance: %d prevented + %d missed != %d baseline drops",
-			rep.Prevented, rep.Missed, rep.BaselineDrops)
-	}
-	if rep.Stops > 0 && rep.WithinBudget == 0 {
-		t.Error("no stop engaged within the policy's reaction budget")
+	for _, rep := range res.Reports {
+		if rep.BaselineDrops == 0 {
+			t.Fatalf("%s: no baseline block-drops: the eval fault band no longer causes hazards", rep.Backend)
+		}
+		if rep.Prevented == 0 {
+			t.Errorf("%s: prevented = 0 of %d baseline drops; the loop is not closing", rep.Backend, rep.BaselineDrops)
+		}
+		if rep.FalseStops != 0 {
+			t.Errorf("%s: false stops = %d on %d fault-free runs, want 0", rep.Backend, rep.FalseStops, rep.FaultFreeRuns)
+		}
+		if rep.FaultFreeRuns == 0 {
+			t.Errorf("%s: no fault-free runs were evaluated", rep.Backend)
+		}
+		if rep.Prevented > 0 && rep.Stops == 0 {
+			t.Errorf("%s: hazards were prevented without any stopping action: accounting is broken", rep.Backend)
+		}
+		if rep.Prevented+rep.Missed != rep.BaselineDrops {
+			t.Errorf("%s: ledger does not balance: %d prevented + %d missed != %d baseline drops",
+				rep.Backend, rep.Prevented, rep.Missed, rep.BaselineDrops)
+		}
+		if rep.Stops > 0 && rep.WithinBudget == 0 {
+			t.Errorf("%s: no stop engaged within the policy's reaction budget", rep.Backend)
+		}
 	}
 }
 

@@ -43,23 +43,7 @@ func (c *Conv1D) Forward(x [][]float64, train bool) [][]float64 {
 		outT = 1
 	}
 	out := seq(outT, c.Out)
-	for t := 0; t < outT; t++ {
-		for o := 0; o < c.Out; o++ {
-			sum := c.Bias.W[o]
-			for k := 0; k < c.K; k++ {
-				ti := t + k
-				if ti >= T {
-					break
-				}
-				row := c.Weight.W[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
-				xt := x[ti]
-				for i := 0; i < c.In; i++ {
-					sum += row[i] * xt[i]
-				}
-			}
-			out[t][o] = sum
-		}
-	}
+	conv1dInto(out, x, c.Weight.W, c.Bias.W, c.Out, c.In, c.K)
 	return out
 }
 

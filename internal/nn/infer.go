@@ -106,17 +106,7 @@ func (d *Dense) newScratch(maxT, _ int) *scratch { return newSeqScratch(maxT, d.
 
 func (d *Dense) infer(x [][]float64, s *scratch) [][]float64 {
 	out := s.rows[:len(x)]
-	for t := range x {
-		for o := 0; o < d.Out; o++ {
-			sum := d.Bias.W[o]
-			row := d.Weight.W[o*d.In : (o+1)*d.In]
-			xt := x[t]
-			for i := 0; i < d.In; i++ {
-				sum += row[i] * xt[i]
-			}
-			out[t][o] = sum
-		}
-	}
+	seqDenseInto(out, x, d.Weight.W, d.Bias.W, d.Out, d.In)
 	return out
 }
 
@@ -221,23 +211,7 @@ func (c *Conv1D) infer(x [][]float64, s *scratch) [][]float64 {
 		outT = 1
 	}
 	out := s.rows[:outT]
-	for t := 0; t < outT; t++ {
-		for o := 0; o < c.Out; o++ {
-			sum := c.Bias.W[o]
-			for k := 0; k < c.K; k++ {
-				ti := t + k
-				if ti >= T {
-					break
-				}
-				row := c.Weight.W[(o*c.K+k)*c.In : (o*c.K+k+1)*c.In]
-				xt := x[ti]
-				for i := 0; i < c.In; i++ {
-					sum += row[i] * xt[i]
-				}
-			}
-			out[t][o] = sum
-		}
-	}
+	conv1dInto(out, x, c.Weight.W, c.Bias.W, c.Out, c.In, c.K)
 	return out
 }
 

@@ -36,17 +36,7 @@ func (d *Dense) Forward(x [][]float64, train bool) [][]float64 {
 		d.lastIn = x
 	}
 	out := seq(len(x), d.Out)
-	for t := range x {
-		for o := 0; o < d.Out; o++ {
-			sum := d.Bias.W[o]
-			row := d.Weight.W[o*d.In : (o+1)*d.In]
-			xt := x[t]
-			for i := 0; i < d.In; i++ {
-				sum += row[i] * xt[i]
-			}
-			out[t][o] = sum
-		}
-	}
+	seqDenseInto(out, x, d.Weight.W, d.Bias.W, d.Out, d.In)
 	return out
 }
 

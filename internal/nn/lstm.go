@@ -54,21 +54,14 @@ func NewLSTM(rng *rand.Rand, in, hidden int) *LSTM {
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
 // gates computes the pre-activation gate vector for input x and previous
-// hidden state h, writing into dst of length 4*Hidden.
+// hidden state h, writing into dst of length 4*Hidden. Each lane's
+// accumulation order — bias, then the Wx terms, then the Wh terms — is
+// preserved across the two kernel calls, so gate pre-activations are
+// bit-identical to the scalar loop this replaced.
 func (l *LSTM) gates(x, h, dst []float64) {
 	H := l.Hidden
-	for g := 0; g < 4*H; g++ {
-		sum := l.B.W[g]
-		wxRow := l.Wx.W[g*l.In : (g+1)*l.In]
-		for i := 0; i < l.In; i++ {
-			sum += wxRow[i] * x[i]
-		}
-		whRow := l.Wh.W[g*H : (g+1)*H]
-		for i := 0; i < H; i++ {
-			sum += whRow[i] * h[i]
-		}
-		dst[g] = sum
-	}
+	matvecInto(dst, l.Wx.W, l.B.W, x, 4*H, l.In)
+	matvecAccum(dst, l.Wh.W, h, 4*H, H)
 }
 
 // Forward implements Layer, running the full window with state reset.

@@ -254,6 +254,10 @@ type persistedConfig struct {
 	EnvelopeMargin     float64
 	Atoms              int
 	SkipLag            int
+	CascadeFront       string
+	CascadeInner       string
+	CascadeArm         float64
+	CascadeHoldoff     int
 }
 
 func persistConfig(c Config) persistedConfig {
@@ -271,6 +275,10 @@ func persistConfig(c Config) persistedConfig {
 		EnvelopeMargin:     c.EnvelopeMargin,
 		Atoms:              c.Atoms,
 		SkipLag:            c.SkipLag,
+		CascadeFront:       c.CascadeFront,
+		CascadeInner:       c.CascadeInner,
+		CascadeArm:         c.CascadeArm,
+		CascadeHoldoff:     c.CascadeHoldoff,
 	}
 }
 
@@ -299,6 +307,10 @@ func (p persistedConfig) restore(base Config) (Config, error) {
 	cfg.EnvelopeMargin = p.EnvelopeMargin
 	cfg.Atoms = p.Atoms
 	cfg.SkipLag = p.SkipLag
+	cfg.CascadeFront = p.CascadeFront
+	cfg.CascadeInner = p.CascadeInner
+	cfg.CascadeArm = p.CascadeArm
+	cfg.CascadeHoldoff = p.CascadeHoldoff
 	return cfg, nil
 }
 

@@ -30,6 +30,19 @@ type Config struct {
 	// Atoms is the SDSDL dictionary size; SkipLag the SkipChain lag.
 	Atoms   int
 	SkipLag int
+	// CascadeFront and CascadeInner name the two stages of the cascade
+	// backend: a cheap front filter scoring every frame ("envelope" or
+	// "sdsdl", default envelope) and the expensive nn-backed detector it
+	// gates ("context-aware", "lookahead" or "monolithic", default
+	// context-aware).
+	CascadeFront string
+	CascadeInner string
+	// CascadeArm is the front-filter score at which the cascade arms the
+	// inner detector (default 0.02); CascadeHoldoff is how many frames the
+	// inner detector keeps running after the last arming frame (default
+	// 30, one second at 30 Hz).
+	CascadeArm     float64
+	CascadeHoldoff int
 	// Timing makes Run measure per-frame compute, at the cost of traces
 	// (and therefore reports) no longer being bit-reproducible.
 	Timing bool
@@ -95,6 +108,28 @@ func WithAtoms(n int) Option { return func(c *Config) { c.Atoms = n } }
 
 // WithSkipLag sets the SkipChain skip-transition lag in frames.
 func WithSkipLag(n int) Option { return func(c *Config) { c.SkipLag = n } }
+
+// WithCascadeStages selects the cascade backend's two stages by registry
+// name: front is the cheap always-on filter ("envelope" or "sdsdl"),
+// inner the gated nn-backed detector ("context-aware", "lookahead" or
+// "monolithic"). Empty strings keep the defaults (envelope gating
+// context-aware).
+func WithCascadeStages(front, inner string) Option {
+	return func(c *Config) {
+		c.CascadeFront = front
+		c.CascadeInner = inner
+	}
+}
+
+// WithCascadeArm sets the front-filter score at which the cascade arms its
+// inner detector. Front scores are the front backend's own scale (envelope
+// violation magnitude, not a probability), so arm thresholds near zero are
+// typical.
+func WithCascadeArm(score float64) Option { return func(c *Config) { c.CascadeArm = score } }
+
+// WithCascadeHoldoff sets how many frames the inner detector keeps running
+// after the last frame whose front score reached the arm threshold.
+func WithCascadeHoldoff(frames int) Option { return func(c *Config) { c.CascadeHoldoff = frames } }
 
 // WithTiming makes Run measure mean per-frame compute time (Table VIII's
 // computation-time column). Timed traces are not bit-reproducible.

@@ -53,6 +53,18 @@ func Open(name string, opts ...Option) (Detector, error) {
 	return f(newConfig(opts)), nil
 }
 
+// openWith constructs an unfitted detector from an already-resolved Config
+// (the cascade backend uses it to derive its stages from its own config).
+func openWith(name string, cfg Config) (Detector, error) {
+	registry.RLock()
+	f := registry.m[name]
+	registry.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("safemon: unknown backend %q (have %s)", name, strings.Join(Backends(), ", "))
+	}
+	return f(cfg), nil
+}
+
 func init() {
 	Register("context-aware", func(cfg Config) Detector { return newContextDetector(cfg) })
 	Register("lookahead", func(cfg Config) Detector {
@@ -63,4 +75,5 @@ func init() {
 	Register("envelope", func(cfg Config) Detector { return newEnvelopeDetector(cfg) })
 	Register("skipchain", func(cfg Config) Detector { return newClassifierDetector(cfg, backendSkipChain) })
 	Register("sdsdl", func(cfg Config) Detector { return newClassifierDetector(cfg, backendSDSDL) })
+	Register("cascade", func(cfg Config) Detector { return newCascadeDetector(cfg) })
 }

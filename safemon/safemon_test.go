@@ -43,6 +43,8 @@ func quickOptions(backend string) []Option {
 	switch backend {
 	case "context-aware", "lookahead", "monolithic":
 		return []Option{WithEpochs(2), WithTrainStride(6), WithSeed(3)}
+	case "cascade":
+		return []Option{WithEpochs(2), WithTrainStride(6), WithSeed(3)}
 	case "sdsdl":
 		return []Option{WithThreshold(0.2), WithAtoms(16), WithSeed(3)}
 	default: // envelope, skipchain
@@ -79,7 +81,7 @@ func fittedDetector(t testing.TB, backend string) Detector {
 }
 
 func TestRegistryRoundTrip(t *testing.T) {
-	want := []string{"context-aware", "envelope", "lookahead", "monolithic", "sdsdl", "skipchain"}
+	want := []string{"cascade", "context-aware", "envelope", "lookahead", "monolithic", "sdsdl", "skipchain"}
 	have := map[string]bool{}
 	for _, name := range Backends() {
 		have[name] = true

@@ -33,7 +33,7 @@ func TestGoldenVerdictsAcrossPaths(t *testing.T) {
 	traj := fold.Test[0]
 	ctx := context.Background()
 
-	for _, backend := range []string{"context-aware", "lookahead", "monolithic", "envelope", "skipchain", "sdsdl"} {
+	for _, backend := range []string{"context-aware", "lookahead", "monolithic", "envelope", "skipchain", "sdsdl", "cascade"} {
 		t.Run(backend, func(t *testing.T) {
 			det := fittedDetector(t, backend)
 

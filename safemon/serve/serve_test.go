@@ -49,6 +49,8 @@ func quickOptions(backend string) []safemon.Option {
 	switch backend {
 	case "context-aware", "lookahead", "monolithic":
 		return []safemon.Option{safemon.WithEpochs(2), safemon.WithTrainStride(6), safemon.WithSeed(3)}
+	case "cascade":
+		return []safemon.Option{safemon.WithEpochs(2), safemon.WithTrainStride(6), safemon.WithSeed(3)}
 	case "sdsdl":
 		return []safemon.Option{safemon.WithThreshold(0.2), safemon.WithAtoms(16), safemon.WithSeed(3)}
 	default: // envelope, skipchain

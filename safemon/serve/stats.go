@@ -43,8 +43,15 @@ func (h *latencyHist) load() [histBuckets]uint64 {
 }
 
 // quantileOf returns the q-th (0..1) latency quantile of a bucket-count
-// snapshot in milliseconds, resolved to the upper bound of the containing
-// bucket; NaN when empty.
+// snapshot in milliseconds; NaN when empty.
+//
+// The rank is located in its bucket and then interpolated log-linearly
+// within the bucket's [2^i, 2^(i+1)) span, assuming samples spread evenly
+// across it in log space. Resolving to the bucket's upper bound instead
+// (as this function once did) over-reports every quantile by up to 2×:
+// a single sample near 2^i would be reported as 2^(i+1). With the
+// half-sample midpoint convention a lone sample resolves to 2^(i+0.5),
+// the geometric mean of the bucket bounds.
 func quantileOf(counts [histBuckets]uint64, q float64) float64 {
 	var total uint64
 	for _, c := range counts {
@@ -61,8 +68,9 @@ func quantileOf(counts [histBuckets]uint64, q float64) float64 {
 	for i, c := range counts {
 		cum += c
 		if cum > rank {
-			upperNS := float64(uint64(1) << (i + 1))
-			return upperNS / 1e6
+			pos := float64(rank-(cum-c)) + 0.5
+			frac := pos / float64(c)
+			return math.Exp2(float64(i)+frac) / 1e6
 		}
 	}
 	return math.NaN()

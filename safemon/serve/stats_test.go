@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQuantileOf pins the log-linear in-bucket interpolation. The old
+// upper-bound resolution over-reported every quantile by up to 2×; each
+// case's wantBelow is that old (biased) answer, asserting the fix.
+func TestQuantileOf(t *testing.T) {
+	mkCounts := func(set map[int]uint64) [histBuckets]uint64 {
+		var counts [histBuckets]uint64
+		for i, c := range set {
+			counts[i] = c
+		}
+		return counts
+	}
+	bucketMS := func(exp float64) float64 { return math.Exp2(exp) / 1e6 }
+
+	cases := []struct {
+		name      string
+		counts    [histBuckets]uint64
+		q         float64
+		want      float64 // exact expected value, ms
+		wantBelow float64 // the old upper-bound answer, ms (exclusive)
+	}{
+		{
+			// A single sample resolves to the geometric mean of its
+			// bucket's bounds, not the upper bound.
+			name:      "single-sample",
+			counts:    mkCounts(map[int]uint64{10: 1}),
+			q:         0.5,
+			want:      bucketMS(10.5),
+			wantBelow: bucketMS(11),
+		},
+		{
+			// Heavily skewed: 90 fast samples, 10 slow. The p99 lands in
+			// the slow bucket near its upper edge but strictly inside it.
+			name:      "skewed-p99",
+			counts:    mkCounts(map[int]uint64{10: 90, 20: 10}),
+			q:         0.99,
+			want:      bucketMS(20.95),
+			wantBelow: bucketMS(21),
+		},
+		{
+			// Same histogram at the median stays in the fast bucket.
+			name:      "skewed-p50",
+			counts:    mkCounts(map[int]uint64{10: 90, 20: 10}),
+			q:         0.5,
+			want:      bucketMS(10 + 50.5/90),
+			wantBelow: bucketMS(11),
+		},
+		{
+			// The top (clamp) bucket interpolates like any other.
+			name:      "top-bucket",
+			counts:    mkCounts(map[int]uint64{histBuckets - 1: 4}),
+			q:         0.99,
+			want:      bucketMS(float64(histBuckets-1) + 3.5/4),
+			wantBelow: bucketMS(float64(histBuckets)),
+		},
+		{
+			// Uniform samples across two buckets: the median is the
+			// boundary between them.
+			name:      "two-buckets-median",
+			counts:    mkCounts(map[int]uint64{5: 2, 6: 2}),
+			q:         0.5,
+			want:      bucketMS(6 + 0.5/2),
+			wantBelow: bucketMS(7),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := quantileOf(tc.counts, tc.q)
+			if math.Abs(got-tc.want) > tc.want*1e-12 {
+				t.Errorf("quantileOf(q=%v) = %v ms, want %v ms", tc.q, got, tc.want)
+			}
+			if got >= tc.wantBelow {
+				t.Errorf("quantileOf(q=%v) = %v ms still at/above the old upper-bound answer %v ms", tc.q, got, tc.wantBelow)
+			}
+		})
+	}
+
+	var empty [histBuckets]uint64
+	if v := quantileOf(empty, 0.5); !math.IsNaN(v) {
+		t.Errorf("empty histogram quantile = %v, want NaN", v)
+	}
+	if v := jsonQuantile(empty, 0.5); v != -1 {
+		t.Errorf("empty histogram jsonQuantile = %v, want -1", v)
+	}
+}
+
+// TestQuantileMonotonic checks quantiles never decrease in q and every
+// reported value lies inside its sample range.
+func TestQuantileMonotonic(t *testing.T) {
+	var h latencyHist
+	durations := []time.Duration{
+		800 * time.Nanosecond, 2 * time.Microsecond, 5 * time.Microsecond,
+		40 * time.Microsecond, 40 * time.Microsecond, 300 * time.Microsecond,
+		2 * time.Millisecond, 100 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.observe(d)
+	}
+	counts := h.load()
+	prev := 0.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := quantileOf(counts, q)
+		if v < prev {
+			t.Errorf("quantile(%v) = %v < quantile at lower q %v", q, v, prev)
+		}
+		prev = v
+	}
+	lo := float64(durations[0].Nanoseconds()) / 1e6 / 2
+	hi := float64(durations[len(durations)-1].Nanoseconds()) / 1e6 * 2
+	if p50 := quantileOf(counts, 0.5); p50 < lo || p50 > hi {
+		t.Errorf("p50 = %v ms outside sample range [%v, %v]", p50, lo, hi)
+	}
+}
