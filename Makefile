@@ -26,6 +26,10 @@
 #                      streams with injected faults latch incidents into an
 #                      on-disk event ledger, and every incident must replay
 #                      byte-identically through its original backend
+#   make quant-golden - int8 golden-tolerance harness: quantized detectors
+#                      must match their float twins on the held-out fold +
+#                      fault-injection corpus with zero decisive verdict
+#                      flips and bounded score drift (quant_test.go)
 #   make bench-coldstart - per-backend fit-vs-load time-to-ready benchmarks
 #   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
 #   make fuzz        - actively fuzz the serve protocol parser and the model
@@ -39,9 +43,9 @@ TRAIN_FLAGS ?= -demos 16 -scale 0.5 -epochs 4 -stride 3
 
 .PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard \
 	bench-coldstart fuzz fuzz-replay train lifecycle-smoke mitigate-smoke \
-	incidents-smoke
+	incidents-smoke quant-golden
 
-ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke incidents-smoke
+ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke incidents-smoke quant-golden
 
 fmt:
 	gofmt -w .
@@ -108,6 +112,13 @@ mitigate-smoke:
 # backend and policy.
 incidents-smoke:
 	$(GO) run ./cmd/experiments -run incidents
+
+# The quantization golden-tolerance gate: every nn backend's int8 twin
+# (float artifact loaded WithQuantized) replays the golden corpus with zero
+# verdict flips outside the eps guard band and per-frame score drift within
+# quantScoreEps.
+quant-golden:
+	$(GO) test -run='^TestQuantizedVerdictTolerance$$' -count=1 -v ./safemon/
 
 # Replay the checked-in fuzz seed corpora as plain tests (what CI runs):
 # the serve protocol parser, the model artifact/manifest decoders, and the

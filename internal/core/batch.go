@@ -1,0 +1,192 @@
+package core
+
+import (
+	"repro/internal/kinematics"
+	"repro/internal/nn"
+)
+
+// headNet resolves the trained network ErrorLibrary.Score (and the
+// per-stream errHeadScorer) would select for a gesture context: the
+// gesture-specific head when one exists, else the global head, else nil
+// (which scores a safe 0).
+func (el *ErrorLibrary) headNet(gestureIdx int) *nn.Network {
+	if el.GestureSpecific {
+		if net := el.PerGesture[gestureIdx]; net != nil {
+			return net
+		}
+	}
+	return el.Global
+}
+
+// BatchStepper advances many Streams of one Monitor by one frame each in
+// a single batched pass: the per-frame bookkeeping (windows, extraction,
+// standardization) runs per stream exactly as Stream.Push does, but the
+// neural inference — the dominant cost — is grouped so streams sharing a
+// network go through one nn.BatchPredictor call instead of N per-stream
+// GEMVs. The batched kernels preserve each stream's accumulation chains,
+// so the verdicts are bit-identical to calling Push on every stream.
+//
+// A BatchStepper owns per-slot inference scratch for the gesture
+// classifier and every error head; like a Stream it is not safe for
+// concurrent use. Streams passed to Step must belong to the Monitor the
+// stepper was built from.
+type BatchStepper struct {
+	m    *Monitor
+	maxB int
+	// batched inference workspaces: the gesture classifier (when the
+	// monitor classifies context online) and one per distinct error head.
+	gesture *nn.BatchPredictor
+	heads   map[*nn.Network]*nn.BatchPredictor
+	// per-chunk scratch, all capacity maxB
+	gs     []int
+	scores []float64
+	nets   []*nn.Network
+	done   []bool
+	win    [][][]float64
+	idx    []int
+	gwin   [][][]float64
+	gidx   []int
+}
+
+// NewBatchStepper builds a batched stepping workspace for up to maxB
+// concurrent streams per inference call (larger Step slices are processed
+// in maxB-sized chunks).
+func (m *Monitor) NewBatchStepper(maxB int) (*BatchStepper, error) {
+	if m.Errors == nil {
+		return nil, ErrMonitorIncomplete
+	}
+	if maxB < 1 {
+		maxB = 1
+	}
+	bs := &BatchStepper{
+		m:      m,
+		maxB:   maxB,
+		heads:  make(map[*nn.Network]*nn.BatchPredictor),
+		gs:     make([]int, maxB),
+		scores: make([]float64, maxB),
+		nets:   make([]*nn.Network, maxB),
+		done:   make([]bool, maxB),
+		win:    make([][][]float64, 0, maxB),
+		idx:    make([]int, 0, maxB),
+		gwin:   make([][][]float64, 0, maxB),
+		gidx:   make([]int, 0, maxB),
+	}
+	lib := m.Errors
+	maxT, dim := lib.Config.Window, lib.Config.Features.Dim()
+	if lib.GestureSpecific {
+		for _, net := range lib.PerGesture {
+			if net != nil {
+				if _, ok := bs.heads[net]; !ok {
+					bs.heads[net] = net.NewBatchPredictor(maxB, maxT, dim)
+				}
+			}
+		}
+	}
+	if lib.Global != nil {
+		if _, ok := bs.heads[lib.Global]; !ok {
+			bs.heads[lib.Global] = lib.Global.NewBatchPredictor(maxB, maxT, dim)
+		}
+	}
+	if !m.UseGroundTruthGestures && lib.GestureSpecific && m.Gestures != nil {
+		gc := m.Gestures
+		bs.gesture = gc.Net.NewBatchPredictor(maxB, gc.Config.Window, gc.Config.Features.Dim())
+	}
+	return bs, nil
+}
+
+// Step pushes frames[i] into streams[i] and writes the verdict Push would
+// have returned into out[i]. The three slices must have equal length; a
+// stream must not appear twice in one call (its window would advance
+// twice before scoring).
+func (bs *BatchStepper) Step(streams []*Stream, frames []*kinematics.Frame, out []FrameVerdict) {
+	for len(streams) > bs.maxB {
+		bs.step(streams[:bs.maxB], frames[:bs.maxB], out[:bs.maxB])
+		streams, frames, out = streams[bs.maxB:], frames[bs.maxB:], out[bs.maxB:]
+	}
+	if len(streams) > 0 {
+		bs.step(streams, frames, out)
+	}
+}
+
+func (bs *BatchStepper) step(streams []*Stream, frames []*kinematics.Frame, out []FrameVerdict) {
+	m := bs.m
+	n := len(streams)
+	gs := bs.gs[:n]
+
+	// Phase 1: advance every stream's windows (the cheap per-frame work of
+	// Push, in the same order), deferring gesture inference.
+	gwin, gidx := bs.gwin[:0], bs.gidx[:0]
+	for i, s := range streams {
+		f := frames[i]
+		idx := s.frameIdx
+		s.frameIdx++
+		out[i].FrameIndex = idx
+
+		g := 0
+		switch {
+		case (m.UseGroundTruthGestures || !m.Errors.GestureSpecific) && s.groundTruth != nil:
+			if idx < len(s.groundTruth) {
+				g = s.groundTruth[idx]
+			}
+		case s.gesturePred != nil:
+			row := s.gestureExt.ExtractInto(f, s.gestureWin.next())
+			if m.Gestures.Standardizer != nil {
+				m.Gestures.Standardizer.Transform(row)
+			}
+			gwin = append(gwin, s.gestureWin.rows)
+			gidx = append(gidx, i)
+		}
+		gs[i] = g
+
+		row := s.errorExt.ExtractInto(f, s.errorWin.next())
+		if m.Errors.Standardizer != nil {
+			m.Errors.Standardizer.Transform(row)
+		}
+	}
+
+	// Phase 2: one batched gesture-classifier pass for every stream that
+	// classifies context online.
+	if len(gwin) > 0 {
+		classes := bs.gesture.PredictClass(gwin)
+		for k, i := range gidx {
+			gs[i] = classes[k]
+		}
+	}
+
+	// Phase 3: group streams by resolved error head and run one batched
+	// forward per distinct network.
+	nets, scores, done := bs.nets[:n], bs.scores[:n], bs.done[:n]
+	for i := range streams {
+		lookup := gs[i]
+		if !m.Errors.GestureSpecific {
+			lookup = -1
+		}
+		nets[i] = m.Errors.headNet(lookup)
+		scores[i] = 0
+		done[i] = nets[i] == nil // no trained head: safe 0, like Push
+	}
+	for i := 0; i < n; i++ {
+		if done[i] {
+			continue
+		}
+		net := nets[i]
+		win, idx := bs.win[:0], bs.idx[:0]
+		for j := i; j < n; j++ {
+			if !done[j] && nets[j] == net {
+				win = append(win, streams[j].errorWin.rows)
+				idx = append(idx, j)
+				done[j] = true
+			}
+		}
+		probs := bs.heads[net].Predict(win)
+		for k, j := range idx {
+			scores[j] = probs[k][1]
+		}
+	}
+
+	for i := range streams {
+		out[i].Gesture = gs[i]
+		out[i].Score = scores[i]
+		out[i].Unsafe = scores[i] >= m.Threshold
+	}
+}

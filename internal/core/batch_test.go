@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kinematics"
+)
+
+// TestBatchStepperMatchesPush pins the batched stepping contract: for
+// every streaming mode — perfect boundaries, gesture-agnostic, and online
+// classifier context — stepping N staggered streams through a
+// BatchStepper must produce exactly (==) the verdicts per-stream Push
+// yields, frame for frame, including the ragged stream-start windows.
+func TestBatchStepperMatchesPush(t *testing.T) {
+	lib, mono, fold := streamFixtures(t)
+	gcCfg := DefaultGestureClassifierConfig()
+	gcCfg.LSTMUnits = []int{12}
+	gcCfg.DenseUnits = 8
+	gcCfg.Window = 6
+	gcCfg.Epochs = 1
+	gcCfg.TrainStride = 8
+	gc, err := TrainGestureClassifier(fold.Train, gcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mon    *Monitor
+		labels bool
+	}{
+		{"perfect-boundaries", func() *Monitor {
+			m := NewMonitor(nil, lib)
+			m.UseGroundTruthGestures = true
+			return m
+		}(), true},
+		{"gesture-agnostic", NewMonitor(nil, mono), false},
+		{"classifier-context", NewMonitor(gc, lib), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, B := range []int{1, 3, 5} {
+				bs, err := tc.mon.NewBatchStepper(B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// One batched and one reference stream per slot, staggered
+				// across the fold's test trajectories so window lengths and
+				// frame indices differ per slot.
+				n := 5
+				streams := make([]*Stream, n)
+				refs := make([]*Stream, n)
+				trajs := make([][]*kinematics.Frame, n)
+				for i := 0; i < n; i++ {
+					traj := fold.Test[i%len(fold.Test)]
+					var labels []int
+					if tc.labels {
+						labels = traj.Gestures
+					}
+					if streams[i], err = tc.mon.NewStream(labels); err != nil {
+						t.Fatal(err)
+					}
+					if refs[i], err = tc.mon.NewStream(labels); err != nil {
+						t.Fatal(err)
+					}
+					// stagger: slot i skips its first i frames via Push on
+					// both sides so the batch holds unequal frame indices
+					frames := make([]*kinematics.Frame, 0, len(traj.Frames))
+					for f := range traj.Frames {
+						frames = append(frames, &traj.Frames[f])
+					}
+					for k := 0; k < i && k < len(frames); k++ {
+						streams[i].Push(frames[k])
+						refs[i].Push(frames[k])
+					}
+					trajs[i] = frames[min(i, len(frames)):]
+				}
+				frames := make([]*kinematics.Frame, n)
+				got := make([]FrameVerdict, n)
+				for step := 0; ; step++ {
+					live := 0
+					for i := range streams {
+						if step < len(trajs[i]) {
+							live++
+							frames[i] = trajs[i][step]
+						} else {
+							frames[i] = nil
+						}
+					}
+					if live == 0 {
+						break
+					}
+					// compact: only live streams participate this step
+					ls := make([]*Stream, 0, n)
+					lf := make([]*kinematics.Frame, 0, n)
+					li := make([]int, 0, n)
+					for i := range streams {
+						if frames[i] != nil {
+							ls = append(ls, streams[i])
+							lf = append(lf, frames[i])
+							li = append(li, i)
+						}
+					}
+					bs.Step(ls, lf, got[:len(ls)])
+					for k, i := range li {
+						want := refs[i].Push(lf[k])
+						if got[k] != want {
+							t.Fatalf("B=%d slot %d step %d: batched %+v != push %+v", B, i, step, got[k], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStepperZeroAlloc extends the warm zero-allocation guarantee to
+// batched stepping.
+func TestBatchStepperZeroAlloc(t *testing.T) {
+	lib, _, fold := streamFixtures(t)
+	mon := NewMonitor(nil, lib)
+	mon.UseGroundTruthGestures = true
+	const B = 4
+	bs, err := mon.NewBatchStepper(B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := fold.Test[0]
+	streams := make([]*Stream, B)
+	frames := make([]*kinematics.Frame, B)
+	out := make([]FrameVerdict, B)
+	for i := range streams {
+		if streams[i], err = mon.NewStream(traj.Gestures); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step := func(f int) {
+		for i := range frames {
+			frames[i] = &traj.Frames[f%len(traj.Frames)]
+		}
+		bs.Step(streams, frames, out)
+	}
+	for f := 0; f < len(traj.Frames); f++ { // warm every window fully
+		step(f)
+	}
+	n := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		step(n)
+		n++
+	}); avg != 0 {
+		t.Fatalf("warm BatchStepper allocates %.1f/run, want 0", avg)
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// QuantizeWeights attaches int8 per-channel quantized weights to every
+// Dense/Conv1D layer of the monitor's error heads, switching their
+// streaming inference path (Predictor / BatchPredictor) to the quantized
+// kernels. Idempotent — layers already carrying quantized weights (e.g.
+// restored from an artifact's int8 section) are left untouched — and
+// deterministic, so quantize-after-fit and quantize-after-load yield the
+// same tensors. Float weights remain the source of truth.
+//
+// The gesture classifier is deliberately left in float: its argmax selects
+// which error head scores the frame, and a quantization-induced argmax flip
+// would swap heads mid-stream — a discrete context change whose score jump
+// cannot be bounded by any per-weight epsilon. Keeping the classifier exact
+// preserves the bounded-drift tolerance contract (safemon's WithQuantized
+// documents it; quant_test.go asserts it).
+func (m *Monitor) QuantizeWeights() {
+	if m.Errors != nil {
+		for _, net := range m.Errors.PerGesture {
+			if net != nil {
+				net.Quantize()
+			}
+		}
+		if m.Errors.Global != nil {
+			m.Errors.Global.Quantize()
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The batched kernels and BatchPredictor claim bit-identity with the
+// per-stream path: slot b of a batch must produce exactly (==, not a
+// tolerance) the floats a lone Predictor produces for stream b. These
+// tests pin that across random shapes, batch sizes 1–32, ragged windows
+// (different T per stream, down to T=1), and post-Flatten short rows.
+
+// batchSizes spans the gather-window regimes the serve shards dispatch:
+// degenerate single-stream batches, partial tiles, and full batches.
+var batchSizes = []int{1, 2, 3, 5, 8, 17, 32}
+
+// raggedBatch builds B windows with per-stream lengths cycling over
+// 1..maxT and, when short is set, some rows narrower than d (the
+// post-Flatten stream-start case seqDenseInto zero-pads).
+func raggedBatch(rng *rand.Rand, B, maxT, d int, short bool) [][][]float64 {
+	xs := make([][][]float64, B)
+	for b := range xs {
+		T := 1 + (b*3)%maxT
+		xs[b] = randSeq(rng, T, d)
+		if short && b%2 == 1 {
+			for t := range xs[b] {
+				w := 1 + (b+t)%d
+				xs[b][t] = xs[b][t][:w]
+			}
+		}
+	}
+	return xs
+}
+
+// flattenRows concatenates every stream's window rows into the flat row
+// list the dense row kernels consume (what BatchPredictor's Forward does
+// with its scratch).
+func flattenRows(seqs [][][]float64) [][]float64 {
+	var rows [][]float64
+	for _, s := range seqs {
+		rows = append(rows, s...)
+	}
+	return rows
+}
+
+func TestSeqDenseBatchMatchesPerStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, sh := range kernelShapes {
+		for _, B := range batchSizes {
+			for _, short := range []bool{false, true} {
+				w := randVec(rng, sh.out*sh.in)
+				bias := randVec(rng, sh.out)
+				xs := raggedBatch(rng, B, 6, sh.in, short)
+				want := make([][][]float64, B)
+				got := make([][][]float64, B)
+				for b := range xs {
+					want[b] = randSeq(rng, len(xs[b]), sh.out)
+					got[b] = randSeq(rng, len(xs[b]), sh.out)
+					seqDenseInto(want[b], xs[b], w, bias, sh.out, sh.in)
+				}
+				denseRowsInto(flattenRows(got), flattenRows(xs), w, bias, sh.out, sh.in)
+				for b := range xs {
+					for t2 := range want[b] {
+						for o := range want[b][t2] {
+							if got[b][t2][o] != want[b][t2][o] {
+								t.Fatalf("denseRowsInto %dx%d B=%d short=%v b=%d t=%d lane %d: %v != %v",
+									sh.out, sh.in, B, short, b, t2, o, got[b][t2][o], want[b][t2][o])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// refQuantSeqDense is the scalar per-lane quantized loop: raw int8 dot
+// product accumulated input-index-ascending, channel scale applied once.
+func refQuantSeqDense(out, x [][]float64, q []int8, scale, bias []float64, outDim, inDim int) {
+	for t := range x {
+		xt := x[t]
+		if len(xt) > inDim {
+			xt = xt[:inDim]
+		}
+		for o := 0; o < outDim; o++ {
+			row := q[o*inDim : (o+1)*inDim]
+			var s float64
+			for i, xi := range xt {
+				s += float64(row[i]) * xi
+			}
+			out[t][o] = bias[o] + scale[o]*s
+		}
+	}
+}
+
+// refQuantConv1d mirrors conv1dQuantInto's contract with scalar loops:
+// raw taps in ascending k, then bias + scale.
+func refQuantConv1d(out, x [][]float64, q []int8, scale, bias []float64, outDim, inDim, K int) {
+	T := len(x)
+	for t := range out {
+		for o := 0; o < outDim; o++ {
+			var s float64
+			for k := 0; k < K; k++ {
+				ti := t + k
+				if ti >= T {
+					break
+				}
+				row := q[(o*K+k)*inDim : (o*K+k+1)*inDim]
+				for i, xi := range x[ti] {
+					s += float64(row[i]) * xi
+				}
+			}
+			out[t][o] = bias[o] + scale[o]*s
+		}
+	}
+}
+
+func randQuant(rng *rand.Rand, rows, cols int) *QuantWeights {
+	return quantizeRows(randVec(rng, rows*cols), rows, cols)
+}
+
+func TestQuantKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, sh := range kernelShapes {
+		qw := randQuant(rng, sh.out, sh.in)
+		bias := randVec(rng, sh.out)
+		for _, T := range []int{1, 2, 5, 10} {
+			x := randSeq(rng, T, sh.in)
+			want := randSeq(rng, T, sh.out)
+			got := randSeq(rng, T, sh.out)
+			refQuantSeqDense(want, x, qw.Q, qw.Scale, bias, sh.out, sh.in)
+			seqDenseQuantInto(got, x, qw.Q, qw.Scale, bias, sh.out, sh.in)
+			for t2 := 0; t2 < T; t2++ {
+				for o := range want[t2] {
+					if got[t2][o] != want[t2][o] {
+						t.Fatalf("seqDenseQuantInto %dx%d T=%d t=%d lane %d: %v != %v",
+							sh.out, sh.in, T, t2, o, got[t2][o], want[t2][o])
+					}
+				}
+			}
+		}
+		for _, K := range []int{1, 2, 3, 5} {
+			qc := randQuant(rng, sh.out, K*sh.in)
+			for _, T := range []int{1, 2, 5, 10} {
+				x := randSeq(rng, T, sh.in)
+				outT := T - K + 1
+				if outT < 1 {
+					outT = 1
+				}
+				want := randSeq(rng, outT, sh.out)
+				got := randSeq(rng, outT, sh.out)
+				refQuantConv1d(want, x, qc.Q, qc.Scale, bias, sh.out, sh.in, K)
+				conv1dQuantInto(got, x, qc.Q, qc.Scale, bias, sh.out, sh.in, K)
+				for t2 := range want {
+					for o := range want[t2] {
+						if got[t2][o] != want[t2][o] {
+							t.Fatalf("conv1dQuantInto %dx%d K=%d T=%d t=%d lane %d: %v != %v",
+								sh.out, sh.in, K, T, t2, o, got[t2][o], want[t2][o])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSeqDenseQuantBatchMatchesPerStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, sh := range kernelShapes {
+		qw := randQuant(rng, sh.out, sh.in)
+		bias := randVec(rng, sh.out)
+		for _, B := range batchSizes {
+			xs := raggedBatch(rng, B, 6, sh.in, true)
+			want := make([][][]float64, B)
+			got := make([][][]float64, B)
+			for b := range xs {
+				want[b] = randSeq(rng, len(xs[b]), sh.out)
+				got[b] = randSeq(rng, len(xs[b]), sh.out)
+				seqDenseQuantInto(want[b], xs[b], qw.Q, qw.Scale, bias, sh.out, sh.in)
+			}
+			denseRowsQuantInto(flattenRows(got), flattenRows(xs), qw.Q, qw.Scale, bias, sh.out, sh.in)
+			for b := range xs {
+				for t2 := range want[b] {
+					for o := range want[b][t2] {
+						if got[b][t2][o] != want[b][t2][o] {
+							t.Fatalf("denseRowsQuantInto %dx%d B=%d b=%d t=%d lane %d: %v != %v",
+								sh.out, sh.in, B, b, t2, o, got[b][t2][o], want[b][t2][o])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPredictorMatchesPredictor pins slot-level bit-identity through
+// whole networks — every model family, float and quantized, ragged batch
+// lengths down to a single frame.
+func TestBatchPredictorMatchesPredictor(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for name, tc := range testNets(rng) {
+		for _, quant := range []bool{false, true} {
+			label := name
+			if quant {
+				label += "-int8"
+				tc.net.Quantize()
+			}
+			t.Run(label, func(t *testing.T) {
+				ref := tc.net.NewPredictor(tc.maxT, tc.dim)
+				for _, B := range batchSizes {
+					bp := tc.net.NewBatchPredictor(B, tc.maxT, tc.dim)
+					xs := raggedBatch(rng, B, tc.maxT, tc.dim, false)
+					probs := bp.Predict(xs)
+					for b := range xs {
+						want := ref.Predict(xs[b])
+						for i := range want {
+							if probs[b][i] != want[i] {
+								t.Fatalf("B=%d slot %d class %d: %v != %v", B, b, i, probs[b][i], want[i])
+							}
+						}
+					}
+					classes := bp.PredictClass(xs)
+					for b := range xs {
+						if want := ref.PredictClass(xs[b]); classes[b] != want {
+							t.Fatalf("B=%d slot %d class: %d != %d", B, b, classes[b], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchPredictorZeroAlloc extends the warm zero-allocation guarantee
+// to the batched path.
+func TestBatchPredictorZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for name, tc := range testNets(rng) {
+		t.Run(name, func(t *testing.T) {
+			const B = 8
+			bp := tc.net.NewBatchPredictor(B, tc.maxT, tc.dim)
+			xs := raggedBatch(rng, B, tc.maxT, tc.dim, false)
+			bp.Predict(xs)
+			bp.PredictClass(xs)
+			if avg := testing.AllocsPerRun(100, func() {
+				bp.Predict(xs)
+				bp.PredictClass(xs)
+			}); avg != 0 {
+				t.Fatalf("warm BatchPredictor allocates %.1f/run, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestQuantizeIdempotentAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	net := BuildConv1D(rng, Conv1DConfig{
+		InputDim: 14, ConvUnits: []int{24, 12}, KernelSize: 3,
+		DenseUnits: 12, NumClasses: 2, Dropout: 0.1,
+	})
+	net.Quantize()
+	if !net.Quantized() {
+		t.Fatal("Quantize left no quantized layers")
+	}
+	var first []*QuantWeights
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			first = append(first, v.Qnt)
+		case *Conv1D:
+			first = append(first, v.Qnt)
+		}
+	}
+	net.Quantize() // idempotent: must not replace existing tensors
+	i := 0
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			if v.Qnt != first[i] {
+				t.Fatal("re-Quantize replaced dense quant tensors")
+			}
+			i++
+		case *Conv1D:
+			if v.Qnt != first[i] {
+				t.Fatal("re-Quantize replaced conv quant tensors")
+			}
+			i++
+		}
+	}
+}
+
+// BenchmarkBatchForwardDense measures the batching payoff on a paper-scale
+// dense model (360 -> 512 -> 512 -> 2, ~2.8 MB of float64 weights): one
+// BatchPredictor.Predict of B single-window streams per iteration. At this
+// size the weight matrices dwarf cache, so the per-stream GEMV (B=1) is
+// memory-bound streaming the weights once per stream, while the batched
+// kernel loads each 4-lane weight tile once and applies it to all B
+// streams. Divide ns/op by B for per-stream cost; BENCH_PR8.json records
+// the B=1 vs B=16 ratio (acceptance floor: >= 3x).
+func BenchmarkBatchForwardDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	build := func() *Network {
+		return BuildMLP(rng, MLPConfig{InputDim: 360, Hidden: []int{512, 512}, NumClasses: 2})
+	}
+	float := build()
+	quant := build()
+	quant.Quantize()
+	for _, v := range []struct {
+		name string
+		net  *Network
+	}{{"float", float}, {"int8", quant}} {
+		for _, B := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/B=%d", v.name, B), func(b *testing.B) {
+				bp := v.net.NewBatchPredictor(B, 1, 360)
+				xs := make([][][]float64, B)
+				for i := range xs {
+					xs[i] = [][]float64{randVec(rng, 360)}
+				}
+				bp.Predict(xs)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bp.Predict(xs)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package nn
+
+import "math"
+
+// Weight-only int8 quantization for the inference path. Each Dense /
+// Conv1D output channel gets a symmetric per-channel scale
+// (maxabs(row)/127) and its weight row rounds to int8; inference then
+// computes bias[o] + scale[o] * Σ q[i]·x[i] with a float64 accumulator.
+// The float weights stay the source of truth — training, Forward, and
+// re-quantization all keep working — and quantization is deterministic,
+// so fitting then quantizing always yields the same int8 tensors as
+// loading a float artifact and quantizing at load time.
+
+// QuantWeights holds one layer's int8 weights with per-output-channel
+// scales. Q is row-major like the float matrix it shadows; Scale has one
+// entry per output channel. A zero scale marks an all-zero weight row.
+type QuantWeights struct {
+	Q     []int8
+	Scale []float64
+}
+
+// quantizeRows rounds a row-major rows×cols float matrix to int8 with a
+// symmetric per-row scale of maxabs(row)/127. Rounding is
+// round-half-away-from-zero via math.Round, clamped to ±127 so the int8
+// range is symmetric (−128 is never produced).
+func quantizeRows(w []float64, rows, cols int) *QuantWeights {
+	qw := &QuantWeights{Q: make([]int8, rows*cols), Scale: make([]float64, rows)}
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue // Scale[r] = 0, Q row stays zero
+		}
+		s := maxAbs / 127
+		qw.Scale[r] = s
+		inv := 1 / s
+		for i, v := range row {
+			q := math.Round(v * inv)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			qw.Q[r*cols+i] = int8(q)
+		}
+	}
+	return qw
+}
+
+// Quantize attaches int8 per-channel quantized weights to every Dense and
+// Conv1D layer, switching Predictor / BatchPredictor inference (not
+// Forward or training) to the quantized kernels. Idempotent: layers that
+// already carry quantized weights are left untouched, so loading an
+// artifact with a persisted int8 section and re-quantizing is a no-op.
+func (n *Network) Quantize() {
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			if v.Qnt == nil {
+				v.Qnt = quantizeRows(v.Weight.W, v.Out, v.In)
+			}
+		case *Conv1D:
+			if v.Qnt == nil {
+				v.Qnt = quantizeRows(v.Weight.W, v.Out, v.K*v.In)
+			}
+		}
+	}
+}
+
+// Quantized reports whether any layer carries int8 quantized weights.
+func (n *Network) Quantized() bool {
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			if v.Qnt != nil {
+				return true
+			}
+		case *Conv1D:
+			if v.Qnt != nil {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package safemon
+
+import (
+	"repro/internal/core"
+	"repro/internal/kinematics"
+)
+
+// Cross-session micro-batching. A Batcher pushes one frame into each of N
+// sessions in a single call, grouping the sessions whose inference runs on
+// the same trained monitor so they share one batched forward per network
+// (core.BatchStepper) instead of N per-stream GEMVs. Sessions that cannot
+// batch — lookahead streams, non-nn backends — take their ordinary Push
+// path inside the same call, so callers need not segregate their traffic.
+//
+// Determinism contract: the batched kernels preserve each stream's exact
+// accumulation chains, so every verdict (and every guard decision and
+// ledger record derived from it) is bit-identical to calling Push on each
+// session individually, in slice order.
+
+// batchEntry is one session's plan for the current batched push: either a
+// concrete monitor stream awaiting batched inference, or an
+// already-complete verdict/error (fronts that stayed disarmed, failures).
+type batchEntry struct {
+	stream  *core.Stream
+	mon     *core.Monitor
+	done    bool
+	verdict FrameVerdict
+	err     error
+}
+
+// batchSession is the internal capability a session implements to join
+// cross-session batches. batchable must be static for the session's
+// lifetime (decided at construction), so planPush's side effects — window
+// advancement, gating state — are only ever spent on sessions whose
+// finishPush will run. planPush performs everything Push does except the
+// batched monitor inference; finishPush performs everything Push does
+// after it (guard stepping, ledger recording) given the scored verdict.
+type batchSession interface {
+	batchable() bool
+	planPush(f *Frame) batchEntry
+	finishPush(f *Frame, v FrameVerdict) (FrameVerdict, error)
+}
+
+// BatchCounts reports how one PushBatch call dispatched its sessions.
+type BatchCounts struct {
+	// Batched counts sessions whose inference ran inside a shared batched
+	// forward (including cascade sessions armed this frame).
+	Batched int
+	// Fallback counts sessions that took the ordinary per-stream Push path
+	// because they cannot batch.
+	Fallback int
+	// Inline counts batchable sessions that needed no monitor inference
+	// this frame (disarmed cascade fronts and failed pushes).
+	Inline int
+}
+
+// Batcher executes batched pushes across many sessions. It lazily builds
+// one core.BatchStepper per distinct monitor it encounters and keeps all
+// per-call scratch, so steady-state batches allocate nothing. A Batcher is
+// not safe for concurrent use: create one per batching goroutine (the
+// serve layer holds one per shard).
+type Batcher struct {
+	maxB     int
+	steppers map[*core.Monitor]*core.BatchStepper
+
+	entries  []batchEntry
+	sessions []batchSession
+	eidx     []int
+	streams  []*core.Stream
+	frames   []*kinematics.Frame
+	verdicts []core.FrameVerdict
+	gidx     []int
+}
+
+// NewBatcher builds a batcher that dispatches at most maxBatch streams per
+// batched forward; larger PushBatch calls are chunked internally by the
+// steppers.
+func NewBatcher(maxBatch int) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &Batcher{maxB: maxBatch, steppers: make(map[*core.Monitor]*core.BatchStepper)}
+}
+
+// MaxBatch returns the per-forward stream cap the batcher was built with.
+func (b *Batcher) MaxBatch() int { return b.maxB }
+
+// PushBatch pushes frames[i] into sessions[i] and fills verdicts[i] /
+// errs[i] with exactly what sessions[i].Push(frames[i]) would have
+// returned. All four slices must have the same length, and a session must
+// not appear twice in one call. Returns how the sessions were dispatched.
+func (b *Batcher) PushBatch(sessions []Session, frames []*Frame, verdicts []FrameVerdict, errs []error) BatchCounts {
+	var counts BatchCounts
+	entries := b.entries[:0]
+	bss := b.sessions[:0]
+	eidx := b.eidx[:0]
+	for i, s := range sessions {
+		bs, ok := s.(batchSession)
+		if !ok || !bs.batchable() {
+			verdicts[i], errs[i] = s.Push(frames[i])
+			counts.Fallback++
+			continue
+		}
+		e := bs.planPush(frames[i])
+		if e.done {
+			if e.err != nil {
+				verdicts[i], errs[i] = e.verdict, e.err
+			} else {
+				verdicts[i], errs[i] = bs.finishPush(frames[i], e.verdict)
+			}
+			counts.Inline++
+			continue
+		}
+		entries = append(entries, e)
+		bss = append(bss, bs)
+		eidx = append(eidx, i)
+	}
+	b.entries, b.sessions, b.eidx = entries, bss, eidx
+
+	// Group the pending entries by monitor and run one batched step per
+	// group. The grouped scan is quadratic in the worst case but batches
+	// are shard-sized and groups are few (typically one per backend).
+	grouped := b.gidx[:0]
+	for i := 0; i < len(entries); i++ {
+		if entries[i].mon == nil {
+			continue
+		}
+		mon := entries[i].mon
+		streams := b.streams[:0]
+		fr := b.frames[:0]
+		grouped = grouped[:0]
+		for j := i; j < len(entries); j++ {
+			if entries[j].mon == mon {
+				streams = append(streams, entries[j].stream)
+				fr = append(fr, frames[eidx[j]])
+				grouped = append(grouped, j)
+				entries[j].mon = nil
+			}
+		}
+		b.streams, b.frames, b.gidx = streams, fr, grouped
+
+		if cap(b.verdicts) < len(streams) {
+			b.verdicts = make([]core.FrameVerdict, len(streams))
+		}
+		out := b.verdicts[:len(streams)]
+		b.stepperFor(mon).Step(streams, fr, out)
+		for k, j := range grouped {
+			idx := eidx[j]
+			verdicts[idx], errs[idx] = bss[j].finishPush(frames[idx], out[k])
+			counts.Batched++
+		}
+	}
+	return counts
+}
+
+// stepperFor returns the monitor's batched stepper, building it on first
+// encounter. NewBatchStepper only fails on a monitor with no error stage,
+// which cannot produce a live session in the first place; if it somehow
+// does, the nil stepper would panic loudly rather than mis-score.
+func (b *Batcher) stepperFor(mon *core.Monitor) *core.BatchStepper {
+	st, ok := b.steppers[mon]
+	if !ok {
+		st, _ = mon.NewBatchStepper(b.maxB)
+		b.steppers[mon] = st
+	}
+	return st
+}

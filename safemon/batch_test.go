@@ -1,0 +1,301 @@
+package safemon
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// mlpFixture caches the MLP-arch monolithic detector for the headline
+// batching benchmark.
+var mlpFixture struct {
+	once sync.Once
+	det  Detector
+	err  error
+}
+
+// mlpMonolithicDetector fits the monolithic backend with MLP error heads —
+// the seq-dense-dominated configuration the batching headline targets
+// (every armed frame is one dense stack over the flattened window, no conv
+// or recurrent layers).
+func mlpMonolithicDetector(t testing.TB) Detector {
+	t.Helper()
+	mlpFixture.once.Do(func() {
+		det, err := Open("monolithic", append(quickOptions("monolithic"), WithArch(ArchMLP))...)
+		if err == nil {
+			err = det.Fit(context.Background(), testFold(t).Train)
+		}
+		mlpFixture.det, mlpFixture.err = det, err
+	})
+	if mlpFixture.err != nil {
+		t.Fatal(mlpFixture.err)
+	}
+	return mlpFixture.det
+}
+
+// batchCase describes one live/reference session pair in the mixed-backend
+// batcher equivalence test.
+type batchCase struct {
+	name    string
+	backend string
+	guarded bool
+	// wantFallback marks backends the batcher must route through the
+	// ordinary Push path (lookahead streams, non-nn detectors).
+	wantFallback bool
+}
+
+// openPair opens a live session and its twin reference session with
+// identical options on the same fitted detector.
+func openPair(t *testing.T, c batchCase, labels []int) (live, ref Session) {
+	t.Helper()
+	det := fittedDetector(t, c.backend)
+	opts := []SessionOption{WithSessionLabels(labels)}
+	if c.guarded {
+		opts = append(opts, WithGuard(guardTestPolicy()))
+	}
+	var err error
+	if live, err = det.NewSession(opts...); err != nil {
+		t.Fatalf("%s live session: %v", c.name, err)
+	}
+	if ref, err = det.NewSession(opts...); err != nil {
+		t.Fatalf("%s ref session: %v", c.name, err)
+	}
+	return live, ref
+}
+
+// TestBatcherMatchesPush drives a mixed population of sessions — batchable
+// nn backends, a cascade, guarded variants, and fallback-only backends —
+// through PushBatch frame by frame, and requires every verdict, error and
+// guard decision to be byte-identical to twin sessions fed one at a time
+// via Push. Mixing backends inside one call is exactly the traffic shape a
+// serve shard produces.
+func TestBatcherMatchesPush(t *testing.T) {
+	fold := testFold(t)
+	cases := []batchCase{
+		{name: "context-aware", backend: "context-aware"},
+		{name: "context-aware-guarded", backend: "context-aware", guarded: true},
+		{name: "monolithic", backend: "monolithic"},
+		{name: "cascade", backend: "cascade"},
+		{name: "cascade-guarded", backend: "cascade", guarded: true},
+		{name: "lookahead", backend: "lookahead", wantFallback: true},
+		{name: "envelope", backend: "envelope", wantFallback: true},
+	}
+
+	trajs := make([]*Trajectory, len(cases))
+	live := make([]Session, len(cases))
+	refs := make([]Session, len(cases))
+	maxLen, wantFallback := 0, 0
+	for i, c := range cases {
+		trajs[i] = fold.Test[i%len(fold.Test)]
+		live[i], refs[i] = openPair(t, c, trajs[i].Gestures)
+		defer live[i].Close()
+		defer refs[i].Close()
+		if trajs[i].Len() > maxLen {
+			maxLen = trajs[i].Len()
+		}
+		if c.wantFallback {
+			wantFallback++
+		}
+	}
+
+	batcher := NewBatcher(4) // smaller than the population: forces chunking
+	sessions := make([]Session, 0, len(cases))
+	frames := make([]*Frame, 0, len(cases))
+	verdicts := make([]FrameVerdict, len(cases))
+	errs := make([]error, len(cases))
+	idx := make([]int, 0, len(cases))
+
+	for f := 0; f < maxLen; f++ {
+		// Sessions whose trajectory has ended drop out, so batch
+		// composition varies across the run.
+		sessions, frames, idx = sessions[:0], frames[:0], idx[:0]
+		for i := range cases {
+			if f < trajs[i].Len() {
+				sessions = append(sessions, live[i])
+				frames = append(frames, &trajs[i].Frames[f])
+				idx = append(idx, i)
+			}
+		}
+		counts := batcher.PushBatch(sessions, frames, verdicts[:len(sessions)], errs[:len(sessions)])
+		if got := counts.Batched + counts.Fallback + counts.Inline; got != len(sessions) {
+			t.Fatalf("frame %d: counts %+v cover %d of %d sessions", f, counts, got, len(sessions))
+		}
+
+		for k, i := range idx {
+			wantV, wantErr := refs[i].Push(frames[k])
+			if verdicts[k] != wantV {
+				t.Fatalf("%s frame %d: batched verdict %+v, Push gave %+v", cases[i].name, f, verdicts[k], wantV)
+			}
+			if (errs[k] == nil) != (wantErr == nil) {
+				t.Fatalf("%s frame %d: batched err %v, Push err %v", cases[i].name, f, errs[k], wantErr)
+			}
+			if cases[i].guarded {
+				gl := live[i].(GuardedSession)
+				gr := refs[i].(GuardedSession)
+				if gl.Decision() != gr.Decision() {
+					t.Fatalf("%s frame %d: guard decision %+v vs %+v", cases[i].name, f, gl.Decision(), gr.Decision())
+				}
+				if gl.GuardCounters() != gr.GuardCounters() {
+					t.Fatalf("%s frame %d: guard counters diverged", cases[i].name, f)
+				}
+			}
+		}
+	}
+
+	// The final full-population batch must have routed exactly the
+	// fallback-only backends through Push.
+	sessions, frames = sessions[:0], frames[:0]
+	for i := range cases {
+		sessions = append(sessions, live[i])
+		frames = append(frames, &trajs[i].Frames[0])
+	}
+	counts := batcher.PushBatch(sessions, frames, verdicts, errs)
+	if counts.Fallback != wantFallback {
+		t.Errorf("Fallback = %d, want %d (lookahead + envelope)", counts.Fallback, wantFallback)
+	}
+	if counts.Batched+counts.Inline != len(cases)-wantFallback {
+		t.Errorf("Batched+Inline = %d, want %d", counts.Batched+counts.Inline, len(cases)-wantFallback)
+	}
+}
+
+// TestBatcherResetKeepsEquivalence checks that sessions reset mid-stream
+// stay bit-identical to their Push twins when batching resumes.
+func TestBatcherResetKeepsEquivalence(t *testing.T) {
+	fold := testFold(t)
+	traj := fold.Test[0]
+	det := fittedDetector(t, "context-aware")
+	live, err := det.NewSession(WithSessionLabels(traj.Gestures))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	ref, err := det.NewSession(WithSessionLabels(traj.Gestures))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	batcher := NewBatcher(2)
+	verdicts := make([]FrameVerdict, 1)
+	errs := make([]error, 1)
+	push := func(f *Frame) {
+		t.Helper()
+		batcher.PushBatch([]Session{live}, []*Frame{f}, verdicts, errs)
+		wantV, wantErr := ref.Push(f)
+		if verdicts[0] != wantV || (errs[0] == nil) != (wantErr == nil) {
+			t.Fatalf("verdict %+v (err %v), want %+v (err %v)", verdicts[0], errs[0], wantV, wantErr)
+		}
+	}
+	half := traj.Len() / 2
+	for f := 0; f < half; f++ {
+		push(&traj.Frames[f])
+	}
+	if err := live.Reset(traj.Gestures); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Reset(traj.Gestures); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < traj.Len(); f++ {
+		push(&traj.Frames[f])
+	}
+}
+
+// TestBatcherZeroAlloc extends the warm hot-path allocation budget to the
+// batched path: once the steppers and scratch exist, a steady-state
+// PushBatch over warm sessions must not allocate.
+func TestBatcherZeroAlloc(t *testing.T) {
+	fold := testFold(t)
+	traj := fold.Test[0]
+	det := fittedDetector(t, "context-aware")
+
+	const B = 4
+	batcher := NewBatcher(B)
+	sessions := make([]Session, B)
+	frames := make([]*Frame, B)
+	verdicts := make([]FrameVerdict, B)
+	errs := make([]error, B)
+	for i := range sessions {
+		s, err := det.NewSession(WithSessionLabels(traj.Gestures))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	for f := 0; f < traj.Len(); f++ {
+		for i := range frames {
+			frames[i] = &traj.Frames[f]
+		}
+		batcher.PushBatch(sessions, frames, verdicts, errs)
+	}
+
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		fr := &traj.Frames[n%traj.Len()]
+		n++
+		for i := range frames {
+			frames[i] = fr
+		}
+		batcher.PushBatch(sessions, frames, verdicts, errs)
+	})
+	if avg != 0 {
+		t.Errorf("warm PushBatch allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkBatchedStep is the headline batching benchmark: one PushBatch of
+// B warm same-monitor sessions per iteration (ns/op is per batch; divide by
+// B for per-stream cost). The int8 variants run the same batch over the
+// quantized twin of the detector. scripts/benchguard.sh holds the B=16
+// float case to the 0 allocs/op budget alongside the per-stream step.
+func BenchmarkBatchedStep(b *testing.B) {
+	variants := []struct {
+		name string
+		det  func(testing.TB) Detector
+	}{
+		{"context-aware", func(t testing.TB) Detector { return fittedDetector(t, "context-aware") }},
+		{"context-aware-int8", func(t testing.TB) Detector { return quantizedDetector(t, "context-aware") }},
+		{"monolithic", func(t testing.TB) Detector { return fittedDetector(t, "monolithic") }},
+		{"monolithic-int8", func(t testing.TB) Detector { return quantizedDetector(t, "monolithic") }},
+		{"monolithic-mlp", mlpMonolithicDetector},
+	}
+	for _, v := range variants {
+		for _, B := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/B=%d", v.name, B), func(b *testing.B) {
+				det := v.det(b)
+				fold := testFold(b)
+				traj := fold.Test[0]
+				batcher := NewBatcher(B)
+				sessions := make([]Session, B)
+				frames := make([]*Frame, B)
+				verdicts := make([]FrameVerdict, B)
+				errs := make([]error, B)
+				for i := range sessions {
+					s, err := det.NewSession(WithSessionLabels(traj.Gestures))
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer s.Close()
+					sessions[i] = s
+				}
+				for f := 0; f < traj.Len(); f++ {
+					for i := range frames {
+						frames[i] = &traj.Frames[f]
+					}
+					batcher.PushBatch(sessions, frames, verdicts, errs)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fr := &traj.Frames[i%traj.Len()]
+					for j := range frames {
+						frames[j] = fr
+					}
+					batcher.PushBatch(sessions, frames, verdicts, errs)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package safemon
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/kinematics"
+)
+
+// quantScoreEps is the documented quantization tolerance policy: on the
+// golden corpus (held-out fold plus the Table III fault-injection
+// campaign), int8 per-output-channel weights may move any per-frame score
+// by at most this much, and must flip zero verdicts on decisively-scored
+// frames — frames whose float score lies outside the ±eps band around the
+// alert threshold. Frames inside the band are already ambiguous at eps
+// precision, so flips there are inherent to any lossy weight compression;
+// the harness logs them but does not fail on them. The bound is asserted by
+// TestQuantizedVerdictTolerance and quoted in the README's Performance
+// section; tightening the quantizer must keep it, loosening it is an API
+// change.
+const quantScoreEps = 2e-2
+
+// quantizedDetector caches, per backend, the quantized twin of the shared
+// fitted fixture: the float detector's artifact loaded into a fresh
+// detector opened WithQuantized. This exercises the enable-at-load path
+// (restore keeps Quantized from the base config) and guarantees the twin
+// shares the exact float weights with its reference.
+var quantizedFixture struct {
+	mu sync.Mutex
+	m  map[string]Detector
+}
+
+func quantizedDetector(t testing.TB, backend string) Detector {
+	t.Helper()
+	art := saveArtifact(t, fittedDetector(t, backend))
+	quantizedFixture.mu.Lock()
+	defer quantizedFixture.mu.Unlock()
+	if d, ok := quantizedFixture.m[backend]; ok {
+		return d
+	}
+	det, err := Open(backend, append(quickOptions(backend), WithQuantized())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Load(bytes.NewReader(art)); err != nil {
+		t.Fatalf("load quantized %s: %v", backend, err)
+	}
+	if quantizedFixture.m == nil {
+		quantizedFixture.m = map[string]Detector{}
+	}
+	quantizedFixture.m[backend] = det
+	return det
+}
+
+// goldenCorpus is the tolerance harness input: every held-out trajectory of
+// the shared fold plus six fault-injected variants drawn from the Table III
+// grid's highest bands (combined grasper + Cartesian faults, the same
+// construction the serve campaign test uses). Built once per process.
+var goldenCorpusFixture struct {
+	once   sync.Once
+	corpus []*Trajectory
+	err    error
+}
+
+func goldenCorpus(t testing.TB) []*Trajectory {
+	t.Helper()
+	fold := testFold(t)
+	goldenCorpusFixture.once.Do(func() {
+		corpus := append([]*Trajectory{}, fold.Test...)
+		grid := faultinject.Table3Grid()
+		for i, bucket := range grid[len(grid)-6:] {
+			demo := fold.Test[i%len(fold.Test)]
+			gf := faultinject.Fault{
+				Variable:    faultinject.GrasperAngle,
+				Target:      (bucket.GrasperLo + bucket.GrasperHi) / 2,
+				StartFrac:   faultinject.InjectionStartFrac,
+				Duration:    (bucket.GrasperDurLo + bucket.GrasperDurHi) / 2,
+				Manipulator: kinematics.Left,
+			}
+			withGrasper, _, _, err := faultinject.Inject(demo, gf)
+			if err != nil {
+				goldenCorpusFixture.err = err
+				return
+			}
+			cf := faultinject.Fault{
+				Variable:    faultinject.CartesianPosition,
+				Target:      (bucket.CartLo + bucket.CartHi) / 2,
+				StartFrac:   faultinject.InjectionStartFrac,
+				Duration:    (bucket.CartDurLo + bucket.CartDurHi) / 2,
+				Manipulator: kinematics.Left,
+			}
+			full, _, _, err := faultinject.Inject(withGrasper, cf)
+			if err != nil {
+				goldenCorpusFixture.err = err
+				return
+			}
+			corpus = append(corpus, full)
+		}
+		goldenCorpusFixture.corpus = corpus
+	})
+	if goldenCorpusFixture.err != nil {
+		t.Fatal(goldenCorpusFixture.err)
+	}
+	return goldenCorpusFixture.corpus
+}
+
+// TestQuantizedVerdictTolerance is the golden-tolerance harness (wired into
+// make ci as quant-golden): for every nn backend, the quantized twin must
+// reproduce the float detector's verdict stream over the golden corpus with
+// zero Unsafe flips and per-frame score drift within quantScoreEps.
+func TestQuantizedVerdictTolerance(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, backend := range []string{"context-aware", "monolithic", "cascade"} {
+		t.Run(backend, func(t *testing.T) {
+			float := fittedDetector(t, backend)
+			quant := quantizedDetector(t, backend)
+			threshold := float.Info().Threshold
+			var flips, borderline, frames int
+			var maxDelta float64
+			for ti, traj := range corpus {
+				fs, err := float.NewSession(WithSessionLabels(traj.Gestures))
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs, err := quant.NewSession(WithSessionLabels(traj.Gestures))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range traj.Frames {
+					fv, err := fs.Push(&traj.Frames[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					qv, err := qs.Push(&traj.Frames[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					frames++
+					if fv.Unsafe != qv.Unsafe {
+						if math.Abs(fv.Score-threshold) <= quantScoreEps {
+							borderline++
+						} else {
+							flips++
+							if flips <= 3 {
+								t.Errorf("traj %d frame %d: decisive verdict flip (float %+v, int8 %+v)", ti, i, fv, qv)
+							}
+						}
+					}
+					if d := math.Abs(fv.Score - qv.Score); d > maxDelta {
+						maxDelta = d
+					}
+				}
+				fs.Close()
+				qs.Close()
+			}
+			t.Logf("%s: %d frames, %d decisive flips, %d in-band flips, max |Δscore| = %.3g (eps %.3g)",
+				backend, frames, flips, borderline, maxDelta, quantScoreEps)
+			if flips != 0 {
+				t.Errorf("%d decisive verdict flips, tolerance policy requires 0", flips)
+			}
+			if maxDelta > quantScoreEps {
+				t.Errorf("max score drift %.3g exceeds quantScoreEps %.3g", maxDelta, quantScoreEps)
+			}
+		})
+	}
+}
+
+// TestQuantizedArtifactRoundTrip saves a quantized detector and reloads it
+// via LoadDetector: the restored detector must carry the int8 section (no
+// re-quantization involved) and replay a held-out trajectory with verdicts
+// exactly equal to the original quantized detector's.
+func TestQuantizedArtifactRoundTrip(t *testing.T) {
+	fold := testFold(t)
+	traj := fold.Test[0]
+	for _, backend := range []string{"context-aware", "monolithic"} {
+		t.Run(backend, func(t *testing.T) {
+			quant := quantizedDetector(t, backend)
+			art := saveArtifact(t, quant)
+			reloaded, err := LoadDetector(bytes.NewReader(art))
+			if err != nil {
+				t.Fatal(err)
+			}
+			qs, err := quant.NewSession(WithSessionLabels(traj.Gestures))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer qs.Close()
+			rs, err := reloaded.NewSession(WithSessionLabels(traj.Gestures))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rs.Close()
+			for i := range traj.Frames {
+				qv, err := qs.Push(&traj.Frames[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				rv, err := rs.Push(&traj.Frames[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if qv != rv {
+					t.Fatalf("frame %d: reloaded verdict %+v, original %+v", i, rv, qv)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizedBatchedMatchesPush closes the loop between the PR's two
+// axes: batched inference over a quantized detector must remain
+// bit-identical to per-stream Push on the same quantized detector.
+func TestQuantizedBatchedMatchesPush(t *testing.T) {
+	fold := testFold(t)
+	det := quantizedDetector(t, "context-aware")
+	const B = 3
+	batcher := NewBatcher(B)
+	live := make([]Session, B)
+	refs := make([]Session, B)
+	trajs := make([]*Trajectory, B)
+	maxLen := 0
+	for i := 0; i < B; i++ {
+		trajs[i] = fold.Test[i%len(fold.Test)]
+		var err error
+		if live[i], err = det.NewSession(WithSessionLabels(trajs[i].Gestures)); err != nil {
+			t.Fatal(err)
+		}
+		defer live[i].Close()
+		if refs[i], err = det.NewSession(WithSessionLabels(trajs[i].Gestures)); err != nil {
+			t.Fatal(err)
+		}
+		defer refs[i].Close()
+		if trajs[i].Len() > maxLen {
+			maxLen = trajs[i].Len()
+		}
+	}
+	sessions := make([]Session, 0, B)
+	frames := make([]*Frame, 0, B)
+	idx := make([]int, 0, B)
+	verdicts := make([]FrameVerdict, B)
+	errs := make([]error, B)
+	for f := 0; f < maxLen; f++ {
+		sessions, frames, idx = sessions[:0], frames[:0], idx[:0]
+		for i := 0; i < B; i++ {
+			if f < trajs[i].Len() {
+				sessions = append(sessions, live[i])
+				frames = append(frames, &trajs[i].Frames[f])
+				idx = append(idx, i)
+			}
+		}
+		batcher.PushBatch(sessions, frames, verdicts[:len(sessions)], errs[:len(sessions)])
+		for k, i := range idx {
+			want, _ := refs[i].Push(frames[k])
+			if verdicts[k] != want {
+				t.Fatalf("stream %d frame %d: batched %+v, Push %+v", i, f, verdicts[k], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/safemon"
+)
+
+// TestServeBatchedVerdictsRace soaks the micro-batching shard loop under
+// -race: many concurrent streams over batching shards — nn backends that
+// share batched forwards, an envelope stream that must take the fallback
+// path inside the same batches, and a few mid-stream cancellations — with
+// every completed stream's verdicts byte-equal to the offline replay, a
+// full drain, and no leaked goroutines.
+func TestServeBatchedVerdictsRace(t *testing.T) {
+	fold := testFold(t)
+	ca := fittedDetector(t, "context-aware")
+	env := fittedDetector(t, "envelope")
+
+	ctx := context.Background()
+	refs := map[string][]byte{}
+	for name, det := range map[string]safemon.Detector{"context-aware": ca, "envelope": env} {
+		trace, err := det.Run(ctx, fold.Test[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = wireLines(t, trace.Verdicts)
+	}
+
+	baseline := runtime.NumGoroutine()
+	srv, err := NewServer(Config{
+		Detectors: map[string]safemon.Detector{"context-aware": ca, "envelope": env},
+		Manager: ManagerConfig{Shards: 2, MailboxDepth: 32}.
+			WithMaxBatch(8).WithBatchWindow(200 * time.Microsecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	client := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+
+	traj := fold.Test[0]
+	const sessions = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			backend := "context-aware"
+			if i%4 == 3 {
+				backend = "envelope"
+			}
+			if i%5 == 4 {
+				// Cancel mid-stream: committed batch tasks must still
+				// deliver and the stream must tear down cleanly.
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				st, err := client.Open(ctx, backend, traj.Gestures)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer st.Close()
+				for j := 0; j < traj.Len()/2; j++ {
+					if err := st.Send(&traj.Frames[j]); err != nil {
+						return
+					}
+					if _, err := st.Recv(); err != nil {
+						return
+					}
+				}
+				cancel()
+				return
+			}
+			got, err := client.StreamTrajectory(context.Background(), backend, traj)
+			if err != nil {
+				errs <- fmt.Errorf("session %d (%s): %w", i, backend, err)
+				return
+			}
+			if !bytes.Equal(refs[backend], wireLines(t, got)) {
+				errs <- fmt.Errorf("session %d (%s): batched verdicts diverge from offline replay", i, backend)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	ts.Close()
+	srv.Shutdown()
+	testutil.WaitGoroutines(t, baseline, 4)
+
+	if snap := srv.Stats(); snap.SessionsActive != 0 {
+		t.Errorf("sessions still active after drain: %+v", snap)
+	}
+}
+
+// TestBatchDrainFlushesPartialBatch proves BeginDrain releases a partial
+// micro-batch immediately: with a gather window far longer than the test
+// budget and a batch that can never fill, pushes complete as soon as the
+// manager starts draining rather than waiting out the window.
+func TestBatchDrainFlushesPartialBatch(t *testing.T) {
+	det := fittedDetector(t, "envelope")
+	fold := testFold(t)
+	traj := fold.Test[0]
+
+	m, err := NewManager(map[string]safemon.Detector{"envelope": det},
+		ManagerConfig{Shards: 1}.WithMaxBatch(8).WithBatchWindow(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const streams = 3
+	sessions := make([]*Session, streams)
+	for i := range sessions {
+		if err := m.Reserve(); err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.Open("envelope", traj.Gestures)
+		if err != nil {
+			m.Unreserve()
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		defer s.Release(true)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			if _, err := s.Push(context.Background(), &traj.Frames[0]); err != nil {
+				errs <- err
+			}
+		}(s)
+	}
+	// Let the pushes land in the gather window, then start draining.
+	time.Sleep(50 * time.Millisecond)
+	m.BeginDrain()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pushes took %v: BeginDrain did not flush the partial batch before the 10s window", elapsed)
+	}
+
+	// Draining only collapses gather windows — attached streams must still
+	// push successfully (and now without batching delay).
+	if _, err := sessions[0].Push(context.Background(), &traj.Frames[1]); err != nil {
+		t.Fatalf("push after BeginDrain: %v", err)
+	}
+}
+
+// TestBatchingStatsSection exercises the typed /stats batching section end
+// to end: a full deterministic batch (nn sessions sharing a forward plus
+// envelope fallbacks) must surface in the client-decoded BatchingSnapshot.
+func TestBatchingStatsSection(t *testing.T) {
+	ca := fittedDetector(t, "context-aware")
+	env := fittedDetector(t, "envelope")
+	fold := testFold(t)
+	traj := fold.Test[0]
+
+	_, client := newTestService(t,
+		map[string]safemon.Detector{"context-aware": ca, "envelope": env},
+		ManagerConfig{Shards: 1}.WithMaxBatch(4).WithBatchWindow(2*time.Second))
+
+	// Four concurrent single-frame pushes on one shard with MaxBatch 4:
+	// the gather only dispatches when the batch fills (the window is far
+	// longer than four HTTP round-trip starts), so exactly one batch of
+	// four runs, two of its frames via the envelope fallback path.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			backend := "context-aware"
+			if i%2 == 1 {
+				backend = "envelope"
+			}
+			st, err := client.Open(context.Background(), backend, traj.Gestures)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			if err := st.Send(&traj.Frames[0]); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := st.Recv(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := snap.Batching
+	if b.Batches != 1 {
+		t.Errorf("Batches = %d, want 1", b.Batches)
+	}
+	if b.BatchedFrames != 4 {
+		t.Errorf("BatchedFrames = %d, want 4", b.BatchedFrames)
+	}
+	if b.MeanBatchSize != 4 {
+		t.Errorf("MeanBatchSize = %v, want 4", b.MeanBatchSize)
+	}
+	if b.Fallbacks != 2 {
+		t.Errorf("Fallbacks = %d, want 2 (the envelope streams)", b.Fallbacks)
+	}
+	if b.WindowTimeouts != 0 {
+		t.Errorf("WindowTimeouts = %d, want 0 (batch dispatched on fill)", b.WindowTimeouts)
+	}
+
+	// The unbatched manager keeps an all-zero section (shape regression:
+	// the field must decode, not be omitted).
+	_, client2 := newTestService(t,
+		map[string]safemon.Detector{"envelope": env}, ManagerConfig{Shards: 1})
+	if _, err := client2.StreamTrajectory(context.Background(), "envelope", traj); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := client2.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Batching != (BatchingSnapshot{}) {
+		t.Errorf("unbatched manager reports batching activity: %+v", snap2.Batching)
+	}
+}

@@ -173,6 +173,9 @@ func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	// Shards flush any partially-gathered micro-batches and stop holding
+	// gather windows open; attached streams keep their verdicts flowing.
+	s.manager.BeginDrain()
 	// Every ledger event emitted so far reaches stable storage now, so a
 	// SIGTERM that never completes the full Shutdown still loses nothing.
 	s.cfg.Ledger.Flush()

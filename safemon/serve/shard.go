@@ -43,13 +43,36 @@ type pushResult struct {
 // shard is one owning goroutine with a bounded mailbox. Every stream is
 // pinned to a single shard for its lifetime, so per-session frame order is
 // the mailbox FIFO order, while distinct shards run in parallel.
+//
+// With MaxBatch > 1 the shard micro-batches: after the first task arrives
+// it gathers more from the mailbox for at most one BatchWindow (or until
+// the batch is full), then dispatches the whole set through one
+// safemon.Batcher call so armed sessions sharing a model run a single
+// batched forward. A batch of one takes the exact single-task path, so an
+// idle service is byte- and latency-identical to an unbatched one.
 type shard struct {
 	mailbox chan pushTask
 	stats   shardStats
+
+	maxBatch int
+	window   time.Duration
+	drain    <-chan struct{} // closed by Manager.BeginDrain: stop window-waiting
+	batcher  *safemon.Batcher
+
+	// Gather/dispatch scratch, reused across batches.
+	tasks    []pushTask
+	sessions []safemon.Session
+	frames   []*safemon.Frame
+	verdicts []safemon.FrameVerdict
+	errs     []error
 }
 
 func (sh *shard) run(quit <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
+	if sh.maxBatch > 1 {
+		sh.runBatched(quit)
+		return
+	}
 	for {
 		select {
 		case t := <-sh.mailbox:
@@ -67,6 +90,116 @@ func (sh *shard) run(quit <-chan struct{}, wg *sync.WaitGroup) {
 			}
 		}
 	}
+}
+
+// runBatched is the micro-batching shard loop.
+func (sh *shard) runBatched(quit <-chan struct{}) {
+	timer := time.NewTimer(sh.window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case t := <-sh.mailbox:
+			sh.dispatch(sh.gather(t, timer))
+		case <-quit:
+			for {
+				select {
+				case t := <-sh.mailbox:
+					t.run()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather assembles one micro-batch starting from first: everything already
+// queued, then — unless the manager is draining — whatever else arrives
+// within one gather window. The timer is owned by the caller and is always
+// left stopped and drained.
+func (sh *shard) gather(first pushTask, timer *time.Timer) []pushTask {
+	tasks := append(sh.tasks[:0], first)
+	for len(tasks) < sh.maxBatch {
+		select {
+		case t := <-sh.mailbox:
+			tasks = append(tasks, t)
+			continue
+		default:
+		}
+		break
+	}
+	if len(tasks) >= sh.maxBatch {
+		sh.tasks = tasks
+		return tasks
+	}
+	select {
+	case <-sh.drain:
+		// Draining: flush the partial batch without holding frames back.
+		sh.tasks = tasks
+		return tasks
+	default:
+	}
+	timer.Reset(sh.window)
+	for len(tasks) < sh.maxBatch {
+		select {
+		case t := <-sh.mailbox:
+			tasks = append(tasks, t)
+		case <-sh.drain:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			sh.tasks = tasks
+			return tasks
+		case <-timer.C:
+			sh.stats.windowTimeouts.Add(1)
+			sh.tasks = tasks
+			return tasks
+		}
+	}
+	if !timer.Stop() {
+		<-timer.C
+	}
+	sh.tasks = tasks
+	return tasks
+}
+
+// dispatch runs one gathered batch. A singleton takes pushTask.run — the
+// exact per-stream path, byte- and allocation-identical to an unbatched
+// shard — so batching cannot perturb a lone stream. Larger batches go
+// through the shard's Batcher, which groups same-monitor sessions into
+// shared batched forwards and falls back to Push for the rest; every
+// verdict is bit-identical either way (see safemon/batch.go).
+func (sh *shard) dispatch(tasks []pushTask) {
+	if len(tasks) == 1 {
+		tasks[0].run()
+		return
+	}
+	sessions := sh.sessions[:0]
+	frames := sh.frames[:0]
+	for _, t := range tasks {
+		sessions = append(sessions, t.sess)
+		frames = append(frames, t.frame)
+	}
+	if cap(sh.verdicts) < len(tasks) {
+		sh.verdicts = make([]safemon.FrameVerdict, len(tasks))
+		sh.errs = make([]error, len(tasks))
+	}
+	verdicts := sh.verdicts[:len(tasks)]
+	errs := sh.errs[:len(tasks)]
+	counts := sh.batcher.PushBatch(sessions, frames, verdicts, errs)
+	sh.stats.batches.Add(1)
+	sh.stats.batchedFrames.Add(uint64(len(tasks)))
+	sh.stats.fallbackFrames.Add(uint64(counts.Fallback))
+	for i, t := range tasks {
+		t.stats.latency.observe(time.Since(t.enq))
+		if errs[i] == nil {
+			t.stats.frames.Add(1)
+		}
+		t.reply <- pushResult{verdict: verdicts[i], err: errs[i]}
+	}
+	sh.sessions, sh.frames = sessions, frames
 }
 
 // run executes the push on the shard goroutine and records its latency
@@ -94,6 +227,27 @@ type ManagerConfig struct {
 	// MaxIdlePerBackend caps each backend's warm session pool; <= 0
 	// means the session cap.
 	MaxIdlePerBackend int
+	// MaxBatch enables cross-session micro-batching: each shard may gather
+	// up to this many queued pushes into one batched forward. <= 1 keeps
+	// the per-task path (no batching).
+	MaxBatch int
+	// BatchWindow bounds how long a shard holds a partial batch open
+	// waiting for more work after the first task arrives; a full batch
+	// dispatches immediately. <= 0 with MaxBatch > 1 means 250µs, well
+	// under a 30 Hz frame period.
+	BatchWindow time.Duration
+}
+
+// WithMaxBatch returns the config with the micro-batch cap set (chainable).
+func (c ManagerConfig) WithMaxBatch(n int) ManagerConfig {
+	c.MaxBatch = n
+	return c
+}
+
+// WithBatchWindow returns the config with the gather window set (chainable).
+func (c ManagerConfig) WithBatchWindow(d time.Duration) ManagerConfig {
+	c.BatchWindow = d
+	return c
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -112,6 +266,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.MaxIdlePerBackend <= 0 {
 		c.MaxIdlePerBackend = c.MaxSessions
 	}
+	if c.MaxBatch > 1 && c.BatchWindow <= 0 {
+		c.BatchWindow = 250 * time.Microsecond
+	}
 	return c
 }
 
@@ -123,11 +280,13 @@ type Manager struct {
 	cfg    ManagerConfig
 	shards []*shard
 
-	quit     chan struct{}
-	wg       sync.WaitGroup
-	inflight sync.WaitGroup
-	next     atomic.Uint64 // round-robin shard assignment
-	active   atomic.Int64  // attached streams, for the MaxSessions cap
+	quit      chan struct{}
+	drainCh   chan struct{} // closed by BeginDrain: shards flush partial batches
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+	inflight  sync.WaitGroup
+	next      atomic.Uint64 // round-robin shard assignment
+	active    atomic.Int64  // attached streams, for the MaxSessions cap
 
 	mu       sync.RWMutex
 	models   map[string]*backendModel
@@ -153,9 +312,10 @@ func NewManagerModels(models map[string]Model, cfg ManagerConfig) (*Manager, err
 	}
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:    cfg,
-		models: map[string]*backendModel{},
-		quit:   make(chan struct{}),
+		cfg:     cfg,
+		models:  map[string]*backendModel{},
+		quit:    make(chan struct{}),
+		drainCh: make(chan struct{}),
 	}
 	now := time.Now().UTC()
 	for name, mod := range models {
@@ -171,9 +331,18 @@ func NewManagerModels(models map[string]Model, cfg ManagerConfig) (*Manager, err
 	}
 	m.shards = make([]*shard, cfg.Shards)
 	for i := range m.shards {
-		m.shards[i] = &shard{mailbox: make(chan pushTask, cfg.MailboxDepth)}
+		sh := &shard{
+			mailbox:  make(chan pushTask, cfg.MailboxDepth),
+			maxBatch: cfg.MaxBatch,
+			window:   cfg.BatchWindow,
+			drain:    m.drainCh,
+		}
+		if sh.maxBatch > 1 {
+			sh.batcher = safemon.NewBatcher(sh.maxBatch)
+		}
+		m.shards[i] = sh
 		m.wg.Add(1)
-		go m.shards[i].run(m.quit, &m.wg)
+		go sh.run(m.quit, &m.wg)
 	}
 	return m, nil
 }
@@ -326,10 +495,20 @@ func (s *Session) Release(healthy bool) {
 	s.sess = nil
 }
 
+// BeginDrain tells the shards to stop holding gather windows open: every
+// partial micro-batch flushes immediately and subsequent batches dispatch
+// with whatever is already queued. Attached streams keep pushing — this
+// only removes the batching latency — so it is safe to call well before
+// Close (the server's graceful-shutdown sequence does). Idempotent.
+func (m *Manager) BeginDrain() {
+	m.drainOnce.Do(func() { close(m.drainCh) })
+}
+
 // Close drains the manager: new Opens and Pushes fail with ErrDraining,
 // in-flight pushes complete, then the shard goroutines exit and the warm
 // pools are closed.
 func (m *Manager) Close() {
+	m.BeginDrain()
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()

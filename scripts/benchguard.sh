@@ -4,8 +4,9 @@
 #
 # Runs the per-backend session-step benchmarks with -benchmem — the
 # fitted-detector path (BenchmarkSessionStep), the artifact-loaded path
-# (BenchmarkSessionStepLoaded), and the ledger-recording path
-# (BenchmarkSessionStepLedgered) — plus the guard policy engine's
+# (BenchmarkSessionStepLoaded), the ledger-recording path
+# (BenchmarkSessionStepLedgered), and the B=16 cross-session micro-batch
+# path (BenchmarkBatchedStep) — plus the guard policy engine's
 # BenchmarkGuardStep and the event ledger's emit path
 # (BenchmarkLedgerAppend), and enforces two budgets:
 #
@@ -45,6 +46,12 @@ out="$("$GO" test -run='^$' -bench='^BenchmarkSessionStep(Loaded|Ledgered)?$' \
 	echo "benchguard: benchmark run failed" >&2
 	exit 1
 }
+batchout="$("$GO" test -run='^$' -bench='^BenchmarkBatchedStep$/.*/^B=16$' \
+	-benchtime="$BENCHTIME" -count="$BENCHCOUNT" -benchmem ./safemon/)" || {
+	echo "$batchout"
+	echo "benchguard: batched-step benchmark run failed" >&2
+	exit 1
+}
 guardout="$("$GO" test -run='^$' -bench='^BenchmarkGuardStep$' \
 	-benchtime="$BENCHTIME" -count="$BENCHCOUNT" -benchmem ./safemon/guard/)" || {
 	echo "$guardout"
@@ -58,6 +65,7 @@ ledgerout="$("$GO" test -run='^$' -bench='^BenchmarkLedgerAppend$' \
 	exit 1
 }
 out="$out
+$batchout
 $guardout
 $ledgerout"
 echo "$out"
@@ -76,7 +84,7 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 		}
 		close(baseline)
 	}
-	/^Benchmark(SessionStep|GuardStep|LedgerAppend)/ {
+	/^Benchmark(SessionStep|BatchedStep|GuardStep|LedgerAppend)/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
 		if ($(NF-1) + 0 > 0) {
@@ -121,4 +129,4 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 	echo "benchguard: hot-path budget exceeded (allocs/op or median ns/op)" >&2
 	exit 1
 }
-echo "benchguard: all session-step, guard-step and ledger-append benchmarks within the 0 allocs/op and median ns/op budgets"
+echo "benchguard: all session-step, batched-step, guard-step and ledger-append benchmarks within the 0 allocs/op and median ns/op budgets"
