@@ -32,8 +32,9 @@
 #                      flips and bounded score drift (quant_test.go)
 #   make bench-coldstart - per-backend fit-vs-load time-to-ready benchmarks
 #   make fuzz-replay - replay the checked-in fuzz seed corpora (no fuzzing)
-#   make fuzz        - actively fuzz the serve protocol parser and the model
-#                      artifact/manifest decoders for 30s each
+#   make fuzz        - actively fuzz the serve protocol parsers (NDJSON and
+#                      binary) and the model artifact/manifest decoders for
+#                      30s each
 #   make test        - tests only
 #   make race        - race-detector pass over the concurrency-bearing packages
 #   make fmt         - apply gofmt in place
@@ -129,6 +130,7 @@ fuzz-replay:
 # Actively fuzz the parsers (developer entry point, not CI).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeRecord -fuzztime=30s ./safemon/serve/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeBinaryRecord -fuzztime=30s ./safemon/serve/
 	$(GO) test -run=^$$ -fuzz=FuzzLoadArtifact -fuzztime=30s ./safemon/
 	$(GO) test -run=^$$ -fuzz=FuzzUnmarshalEnvelope -fuzztime=30s ./safemon/
 	$(GO) test -run=^$$ -fuzz=FuzzParseManifest -fuzztime=30s ./safemon/modelstore/

@@ -234,6 +234,43 @@ func BenchmarkServeStream(b *testing.B) {
 	}
 }
 
+// BenchmarkServeStreamBinary is BenchmarkServeStream over the compact
+// binary codec (application/x-safemon-frames): same backend, same
+// trajectory, same lockstep send/recv, with the NDJSON marshal/scan layer
+// replaced by fixed-layout records. The delta between the two is the wire
+// codec's share of the per-frame round trip.
+func BenchmarkServeStreamBinary(b *testing.B) {
+	b.ReportAllocs()
+	det, fold := trainedDetector(b, "context-aware")
+	srv, err := serve.NewServer(serve.Config{
+		Detectors: map[string]safemon.Detector{"context-aware": det},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown()
+	}()
+	client := &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client(), Codec: "binary"}
+	traj := fold.Test[0]
+	st, err := client.Open(context.Background(), "context-aware", traj.Gestures)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Send(&traj.Frames[i%traj.Len()]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkServeConcurrentSessions measures served throughput at
 // increasing session fan-out via the loadgen (frames/s across all
 // sessions), the scale axis of the serving layer.

@@ -19,6 +19,7 @@ type loadgenOptions struct {
 	addr     string // target safemond; empty spins an in-process server
 	backend  string
 	sessions int
+	codec    string // json, binary or binary-mux
 }
 
 // runLoadgen replays synthetic trajectories as concurrent NDJSON clients
@@ -45,6 +46,7 @@ func runLoadgen(opts experiments.Options, lg loadgenOptions) (renderer, error) {
 	cfg := serve.LoadGenConfig{
 		Backend:      lg.backend,
 		Sessions:     lg.sessions,
+		Codec:        lg.codec,
 		Trajectories: fold.Test,
 	}
 	if lg.addr != "" {

@@ -53,7 +53,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic seed")
 	verbose := fs.Bool("v", false, "print progress")
 	addr := fs.String("addr", "", "loadgen: safemond host:port (empty = in-process server)")
-	sessions := fs.Int("sessions", 64, "loadgen: concurrent NDJSON sessions")
+	sessions := fs.Int("sessions", 64, "loadgen: concurrent sessions")
+	codec := fs.String("codec", "json", "loadgen: wire codec (json, binary or binary-mux)")
 	backend := fs.String("backend", "envelope", "loadgen/train: backend(s) to use (train accepts a comma list or 'all')")
 	modelDir := fs.String("model-dir", "./models", "train: model store directory for saved artifacts")
 	modelVersion := fs.String("model-version", "", "train: artifact version (empty = next sequential)")
@@ -90,7 +91,7 @@ func run(args []string) error {
 		"fig9":      func() (renderer, error) { return experiments.RunFig9(opts) },
 		"extension": func() (renderer, error) { return experiments.RunExtension(opts) },
 		"loadgen": func() (renderer, error) {
-			return runLoadgen(opts, loadgenOptions{addr: *addr, backend: *backend, sessions: *sessions})
+			return runLoadgen(opts, loadgenOptions{addr: *addr, backend: *backend, sessions: *sessions, codec: *codec})
 		},
 		"train": func() (renderer, error) {
 			return runTrain(opts, trainOptions{modelDir: *modelDir, backends: *backend, version: *modelVersion})

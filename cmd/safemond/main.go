@@ -1,7 +1,10 @@
 // Command safemond is the long-lived real-time monitoring service: it
-// serves concurrent NDJSON kinematics streams over HTTP, emitting verdicts
-// frame by frame through a sharded session manager with bounded mailboxes
-// and explicit backpressure.
+// serves concurrent kinematics streams over HTTP — NDJSON by default,
+// or the compact binary codec (application/x-safemon-frames, including
+// multiplexed /v1/mux connections) — emitting verdicts frame by frame
+// through a sharded session manager with bounded mailboxes and explicit
+// backpressure. Verdict values are identical across codecs; -binary=false
+// serves NDJSON only.
 //
 // Models come from one of two places:
 //
@@ -209,6 +212,7 @@ func run(args []string) error {
 	enqueueTimeout := fs.Duration("enqueue-timeout", 0, "backpressure wait on a full mailbox (0 = serve default)")
 	maxBatch := fs.Int("max-batch", 0, "cross-session micro-batch size per shard (0/1 = per-stream dispatch)")
 	batchWindow := fs.Duration("batch-window", 0, "micro-batch gather window (0 = serve default 250µs; needs -max-batch >= 2)")
+	binaryCodec := fs.Bool("binary", true, "offer the binary wire codec (application/x-safemon-frames) and /v1/mux; false serves NDJSON only")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	threshold := fs.Float64("threshold", 0.5, "unsafe-score alert threshold (training paths)")
 	demos := fs.Int("demos", 24, "synthetic training demonstrations")
@@ -364,6 +368,7 @@ func run(args []string) error {
 	}
 
 	cfg.Policies = policies
+	cfg.DisableBinary = !*binaryCodec
 	cfg.Manager = serve.ManagerConfig{
 		Shards:         *shards,
 		MailboxDepth:   *mailbox,

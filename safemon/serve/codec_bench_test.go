@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// BenchmarkCodecRoundTrip measures one encode+decode cycle for the two
+// record types that dominate a stream — the 38-float client frame and the
+// server verdict — in both wire codecs. The binary subs are the numbers
+// BENCH_PR9.json records and scripts/benchguard.sh gates: they must run
+// warm with 0 allocs/op (reused append buffer, reused decode record),
+// while the NDJSON subs exist as the baseline the >=5x speedup is
+// measured against.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	var frame [38]float64
+	for i := range frame {
+		frame[i] = 0.125 * float64(i+1)
+	}
+	verdict := VerdictMsg{I: 812, G: 3, Score: 0.73125, Unsafe: true}
+
+	b.Run("json-frame", func(b *testing.B) {
+		b.ReportAllocs()
+		var msg ClientMsg
+		for i := 0; i < b.N; i++ {
+			line, err := json.Marshal(ClientMsg{Frame: frame[:]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := DecodeRecord(line, &msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-frame", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var rec, out BinaryRecord
+		rec.Type = BinFrame
+		rec.SID = 7
+		rec.Frame = frame
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = AppendBinaryRecord(buf[:0], &rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := DecodeBinaryRecord(buf, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json-verdict", func(b *testing.B) {
+		b.ReportAllocs()
+		var msg ServerMsg
+		for i := 0; i < b.N; i++ {
+			line, err := json.Marshal(ServerMsg{Verdict: &verdict})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.Unmarshal(line, &msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-verdict", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var rec, out BinaryRecord
+		rec.Type = BinVerdict
+		rec.SID = 7
+		rec.Verdict = verdict
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = AppendBinaryRecord(buf[:0], &rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := DecodeBinaryRecord(buf, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -10,8 +10,8 @@ import (
 	"repro/safemon"
 )
 
-// LoadGenConfig drives RunLoadGen: Sessions concurrent NDJSON clients
-// replaying Trajectories (round-robin) against a safemond service.
+// LoadGenConfig drives RunLoadGen: Sessions concurrent clients replaying
+// Trajectories (round-robin) against a safemond service.
 type LoadGenConfig struct {
 	// Client reaches the service under test.
 	Client *Client
@@ -19,6 +19,11 @@ type LoadGenConfig struct {
 	Backend string
 	// Sessions is the number of concurrent client streams.
 	Sessions int
+	// Codec selects the transport: "" or "json" for one NDJSON
+	// connection per session, "binary" for one binary connection per
+	// session, "binary-mux" for all sessions multiplexed over a single
+	// binary connection.
+	Codec string
 	// Trajectories are replayed round-robin across sessions.
 	Trajectories []*safemon.Trajectory
 	// Reference, when non-nil, holds offline traces index-aligned with
@@ -73,6 +78,22 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) 
 	if cfg.Reference != nil && len(cfg.Reference) != len(cfg.Trajectories) {
 		return nil, fmt.Errorf("serve: %d reference traces for %d trajectories", len(cfg.Reference), len(cfg.Trajectories))
 	}
+	client := *cfg.Client
+	var mux *MuxConn
+	switch cfg.Codec {
+	case "", "json":
+	case "binary":
+		client.Codec = "binary"
+	case "binary-mux":
+		m, err := client.OpenMux(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loadgen mux dial: %w", err)
+		}
+		defer m.Close()
+		mux = m
+	default:
+		return nil, fmt.Errorf("serve: unknown loadgen codec %q (want json, binary or binary-mux)", cfg.Codec)
+	}
 
 	type result struct {
 		frames   int
@@ -87,7 +108,13 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) 
 		go func(i int) {
 			defer wg.Done()
 			traj := cfg.Trajectories[i%len(cfg.Trajectories)]
-			verdicts, err := cfg.Client.StreamTrajectory(ctx, cfg.Backend, traj)
+			var verdicts []safemon.FrameVerdict
+			var err error
+			if mux != nil {
+				verdicts, _, err = mux.StreamTrajectory(ctx, cfg.Backend, "", traj)
+			} else {
+				verdicts, err = client.StreamTrajectory(ctx, cfg.Backend, traj)
+			}
 			results[i] = result{frames: len(verdicts), err: err}
 			if err != nil || cfg.Reference == nil {
 				return

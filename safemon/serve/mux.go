@@ -1,0 +1,397 @@
+package serve
+
+// Multiplexed streaming: POST /v1/mux carries many logical sessions over
+// one binary-codec connection, collapsing the per-stream HTTP and
+// goroutine overhead of /v1/stream into per-record sid routing. Every
+// record carries a u32 sid; clients open sessions with BinOpen (backend,
+// optional policy, optional labels), push BinFrame records, and
+// half-close with BinClose, to which the server answers that session's
+// BinDone. Failures are per-sid BinError records — backpressure answers
+// 429 for the offending session only, never an HTTP status for the whole
+// connection — so one connection can cheaply fan a node's worth of
+// streams into a safemond, the transport ROADMAP item 1's gateway tier
+// needs.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/safemon"
+	"repro/safemon/guard"
+	"repro/safemon/ledger"
+)
+
+// muxInDepth bounds each logical session's routing channel: enough to
+// ride out scheduling jitter between the connection reader and the
+// session goroutine, small enough that backpressure surfaces as a per-sid
+// 429 instead of unbounded buffering.
+const muxInDepth = 64
+
+// muxWriter serializes binary record writes from the per-session
+// goroutines onto the shared response. Per-sid record order is preserved
+// because each session writes its own records from one goroutine; the
+// mutex only interleaves records of different sessions.
+type muxWriter struct {
+	mu    sync.Mutex
+	w     *binWriter
+	flush func()
+}
+
+func (m *muxWriter) verdict(sid uint32, v *VerdictMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w.writeVerdict(sid, v) != nil {
+		return
+	}
+	m.flush()
+}
+
+// actionVerdict writes a guard action edge immediately followed by the
+// verdict that produced it, under one lock acquisition so no other
+// session's record lands between them.
+func (m *muxWriter) actionVerdict(sid uint32, a *ActionMsg, v *VerdictMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w.emit(&BinaryRecord{Type: BinAction, SID: sid, Action: *a}) != nil {
+		return
+	}
+	if m.w.writeVerdict(sid, v) != nil {
+		return
+	}
+	m.flush()
+}
+
+func (m *muxWriter) done(sid uint32, frames int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w.emit(&BinaryRecord{Type: BinDone, SID: sid, Frames: uint64(frames)}) != nil {
+		return
+	}
+	m.flush()
+}
+
+func (m *muxWriter) opened(sid uint32, version string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w.emit(&BinaryRecord{Type: BinOpened, SID: sid, Version: version}) != nil {
+		return
+	}
+	m.flush()
+}
+
+func (m *muxWriter) error(sid uint32, e *ErrorMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w.emit(&BinaryRecord{Type: BinError, SID: sid, Code: uint32(e.Code), Message: e.Message}) != nil {
+		return
+	}
+	m.flush()
+}
+
+// muxSession is the connection reader's handle on one logical session:
+// a bounded frame channel into the session goroutine plus the kill
+// switch for per-sid backpressure cuts.
+type muxSession struct {
+	sid  uint32
+	in   chan safemon.Frame
+	quit chan struct{} // closed by kill: abandon queued frames and exit
+	// reason is the ledger end-reason for a killed session; written
+	// before quit closes, read after it fires.
+	reason string
+	// failed is set by the session goroutine when its stream died (push
+	// error); the reader then drops further frames for the sid.
+	failed atomic.Bool
+	killed bool // reader-side: kill() called
+	closed bool // reader-side: in closed
+}
+
+// offer routes one frame, waiting up to timeout when the channel is
+// full; false means the session goroutine cannot keep up (per-sid 429).
+func (ms *muxSession) offer(f *safemon.Frame, timeout time.Duration) bool {
+	select {
+	case ms.in <- *f:
+		return true
+	default:
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case ms.in <- *f:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// closeInput half-closes the session: queued frames still process, then
+// the goroutine emits its done record. Idempotent, reader-side only.
+func (ms *muxSession) closeInput() {
+	if !ms.closed && !ms.killed {
+		ms.closed = true
+		close(ms.in)
+	}
+}
+
+// kill cuts the session without draining: the goroutine abandons queued
+// frames and emits nothing further (the reader already emitted the
+// per-sid error, or the whole connection failed). Reader-side only.
+func (ms *muxSession) kill(reason string) {
+	if !ms.killed {
+		ms.killed = true
+		ms.reason = reason
+		close(ms.quit)
+	}
+}
+
+// handleMux is the multiplexed binary endpoint. Admission errors are
+// HTTP statuses for the connection; everything after the 200 — unknown
+// backends, session caps, backpressure, malformed payloads — is a
+// per-sid BinError record, so one bad session never costs the others
+// their transport.
+func (s *Server) handleMux(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Connection", "close")
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.DisableBinary {
+		http.Error(w, "binary codec disabled", http.StatusUnsupportedMediaType)
+		return
+	}
+	if !hasMediaType(r.Header.Get("Content-Type"), BinaryContentType) {
+		http.Error(w, "mux requires Content-Type: "+BinaryContentType, http.StatusUnsupportedMediaType)
+		return
+	}
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor < 2 {
+		http.Error(w, "streaming unsupported", http.StatusHTTPVersionNotSupported)
+		return
+	}
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(http.StatusOK)
+	rc.Flush()
+	s.codec.muxConns.Add(1)
+
+	mw := &muxWriter{w: newBinWriter(w), flush: func() { rc.Flush() }}
+	dec := newBinReader(r.Body)
+	defer dec.release()
+	armIdle := func() { rc.SetReadDeadline(time.Now().Add(s.cfg.StreamIdleTimeout)) }
+
+	sessions := map[uint32]*muxSession{}
+	var wg sync.WaitGroup
+	clean := false
+	defer func() {
+		// Connection over. On a clean end (request side closed at a record
+		// boundary) the remaining sessions half-close: queued frames still
+		// process and each session gets its done record. On a failed
+		// connection they are killed instead — a done record after a fatal
+		// error would misreport the streams as complete.
+		for _, ms := range sessions {
+			if clean {
+				ms.closeInput()
+			} else {
+				ms.kill("error: connection failure")
+			}
+		}
+		wg.Wait()
+	}()
+
+	// fatal reports a connection-level error and linger-drains a bounded
+	// slice of the request body: closing with unread received data can
+	// RST the in-flight error record away before the client reads it.
+	fatal := func(sid uint32, e *ErrorMsg) {
+		mw.error(sid, e)
+		rc.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		io.Copy(io.Discard, io.LimitReader(r.Body, 64<<10))
+	}
+
+	for {
+		armIdle()
+		rec, err := dec.next()
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				clean = true
+				return // clean end at a record boundary
+			case errors.Is(err, errBadPayload):
+				// The record framed correctly but its payload is invalid
+				// (non-finite frame, ragged struct): fail just that sid
+				// and keep the connection.
+				sid := dec.lastSID
+				mw.error(sid, &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()})
+				if ms := sessions[sid]; ms != nil {
+					ms.kill("error: bad record")
+					delete(sessions, sid)
+				}
+				continue
+			default:
+				// Broken framing: the byte stream cannot continue.
+				fatal(0, &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()})
+				return
+			}
+		}
+		switch rec.Type {
+		case BinOpen:
+			s.muxOpen(r, mw, sessions, &wg, rec)
+		case BinFrame:
+			ms := sessions[rec.SID]
+			if ms == nil || ms.failed.Load() {
+				continue // unknown or already-failed sid: drop
+			}
+			if !ms.offer(&rec.Frame, s.manager.cfg.EnqueueTimeout) {
+				mw.error(rec.SID, &ErrorMsg{Code: http.StatusTooManyRequests, Message: ErrQueueFull.Error()})
+				ms.kill("error: queue full")
+				delete(sessions, rec.SID)
+			}
+		case BinClose:
+			if ms := sessions[rec.SID]; ms != nil {
+				ms.closeInput()
+				delete(sessions, rec.SID)
+			}
+		default:
+			fatal(rec.SID, &ErrorMsg{Code: http.StatusBadRequest,
+				Message: "unexpected " + binTypeName(rec.Type) + " record on a mux connection"})
+			return
+		}
+	}
+}
+
+// muxOpen admits one logical session: the mux twin of handleStream's
+// admission sequence, answering with per-sid records instead of HTTP
+// statuses.
+func (s *Server) muxOpen(r *http.Request, mw *muxWriter, sessions map[uint32]*muxSession, wg *sync.WaitGroup, rec *BinaryRecord) {
+	sid := rec.SID
+	if sid == 0 {
+		mw.error(0, &ErrorMsg{Code: http.StatusBadRequest, Message: "open needs a nonzero sid"})
+		return
+	}
+	if _, dup := sessions[sid]; dup {
+		mw.error(sid, &ErrorMsg{Code: http.StatusBadRequest, Message: "sid already open"})
+		return
+	}
+	backend := rec.Backend
+	if backend == "" {
+		backend = s.cfg.DefaultBackend
+	}
+	if backend == "" {
+		backend = s.manager.soleBackend()
+	}
+	var policy *guard.Policy
+	policyName := ""
+	if rec.Policy != "" {
+		p, ok := s.policies[rec.Policy]
+		if !ok {
+			mw.error(sid, &ErrorMsg{Code: http.StatusNotFound, Message: "unknown policy " + rec.Policy})
+			return
+		}
+		policy = &p
+		policyName = rec.Policy
+	}
+	if s.isDraining() {
+		mw.error(sid, &ErrorMsg{Code: http.StatusServiceUnavailable, Message: ErrDraining.Error()})
+		return
+	}
+	// Per-sid admission control: the session cap answers with a 429
+	// record for this sid, leaving the connection's other sessions alone.
+	if err := s.manager.Reserve(); err != nil {
+		mw.error(sid, openError(err))
+		return
+	}
+	// Copied out of the decoder's reused record; zero labels means an
+	// unlabeled stream (the open payload cannot distinguish nil from
+	// empty, and neither can a backend).
+	var labels []int
+	if len(rec.Labels) > 0 {
+		labels = append([]int{}, rec.Labels...)
+	}
+	sess, err := s.manager.Open(backend, labels)
+	if err != nil {
+		s.manager.Unreserve()
+		mw.error(sid, openError(err))
+		return
+	}
+	var sg *streamGuard
+	if policy != nil {
+		sg, err = newStreamGuard(*policy, &s.mitigation)
+		if err != nil {
+			sess.Release(false)
+			mw.error(sid, &ErrorMsg{Code: http.StatusInternalServerError, Message: err.Error()})
+			return
+		}
+	}
+	s.codec.muxSessions.Add(1)
+	ms := &muxSession{sid: sid, in: make(chan safemon.Frame, muxInDepth), quit: make(chan struct{})}
+	sessions[sid] = ms
+	mw.opened(sid, sess.Version())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.runMuxSession(r.Context(), ms, sess, sg, backend, policyName, labels, mw)
+	}()
+}
+
+// runMuxSession is one logical session's pump: frames in from the
+// connection reader, verdicts (and guard actions) out through the shared
+// writer, with the same ledger recording as a /v1/stream handler.
+func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Session, sg *streamGuard, backend, policyName string, labels []int, mw *muxWriter) {
+	rec := ledger.NewRecorder(s.cfg.Ledger, backend, sess.Version(), policyName)
+	rec.Start(labels32(labels))
+	frames := 0
+	healthy := true
+	endReason := "error: handler exit"
+	defer func() {
+		rec.End(frames, endReason)
+		sess.Release(healthy)
+	}()
+	for {
+		// Kill wins over queued frames: a 429-cut session must stop
+		// promptly, not finish its backlog.
+		select {
+		case <-ms.quit:
+			healthy = false
+			endReason = ms.reason
+			return
+		default:
+		}
+		select {
+		case <-ms.quit:
+			healthy = false
+			endReason = ms.reason
+			return
+		case frame, ok := <-ms.in:
+			if !ok {
+				endReason = "eof"
+				mw.done(ms.sid, frames)
+				return
+			}
+			v, err := sess.Push(ctx, &frame)
+			if err != nil {
+				healthy = false
+				endReason = "error: push"
+				ms.failed.Store(true)
+				mw.error(ms.sid, pushError(err))
+				return
+			}
+			frames++
+			wire := WireVerdict(v)
+			rec.Verdict(v, &frame)
+			if sg != nil {
+				if act := sg.step(wire); act != nil {
+					rec.Action(sg.decision())
+					mw.actionVerdict(ms.sid, act, &wire)
+					continue
+				}
+			}
+			mw.verdict(ms.sid, &wire)
+		}
+	}
+}

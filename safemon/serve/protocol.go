@@ -15,6 +15,12 @@
 //	← {"verdict":{"i":0,"g":2,"score":0.13,"unsafe":false}}
 //	← {"done":{"frames":812}}  stream end (client closed its side)
 //	← {"error":{"code":429,"message":"queue full"}}  terminal error
+//
+// NDJSON is the default codec. A request whose Content-Type (or Accept)
+// is application/x-safemon-frames switches the whole stream to the
+// compact binary record format documented in codec.go, and POST /v1/mux
+// multiplexes many logical sessions over one binary connection; verdict
+// values are exactly equal across all transports.
 package serve
 
 import (
@@ -24,6 +30,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 
 	"repro/safemon"
 )
@@ -123,21 +131,58 @@ var errRecordTooLarge = fmt.Errorf("serve: record exceeds %d bytes", maxRecordBy
 // msg, overwriting any previous contents. Surrounding whitespace is
 // ignored. It never panics on malformed input — the property the fuzz
 // harness pins — and returns the json error for anything that is not a
-// single valid ClientMsg object.
+// single valid ClientMsg object. Non-finite frame values are rejected
+// here, at decode time, exactly as the binary codec rejects them:
+// standard JSON cannot spell NaN or ±Inf, but a decoder must not rely on
+// its input being standard, and nothing non-finite may reach a backend's
+// scorers.
 func DecodeRecord(line []byte, msg *ClientMsg) error {
 	*msg = ClientMsg{}
-	return json.Unmarshal(line, msg)
+	if err := json.Unmarshal(line, msg); err != nil {
+		return err
+	}
+	for _, v := range msg.Frame {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errNonFiniteFrame
+		}
+	}
+	return nil
+}
+
+// scanBufPool recycles the per-connection NDJSON scan buffers: 64 KiB
+// per stream is real money at high connection churn, and the buffer's
+// lifetime is exactly the handler's, so pooling is safe. A line that
+// outgrows the pooled buffer makes the Scanner allocate internally (up
+// to maxRecordBytes) and abandon the pooled one, which then simply
+// returns to the pool at release.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 64<<10)
+		return &b
+	},
 }
 
 // recordReader decodes NDJSON records line by line under maxRecordBytes.
 type recordReader struct {
 	scan *bufio.Scanner
+	buf  *[]byte // pooled scan buffer, returned by release
 }
 
 func newRecordReader(r io.Reader) *recordReader {
 	scan := bufio.NewScanner(r)
-	scan.Buffer(make([]byte, 64<<10), maxRecordBytes)
-	return &recordReader{scan: scan}
+	buf := scanBufPool.Get().(*[]byte)
+	scan.Buffer(*buf, maxRecordBytes)
+	return &recordReader{scan: scan, buf: buf}
+}
+
+// release returns the pooled scan buffer. The reader must not be used
+// afterwards.
+func (d *recordReader) release() {
+	if d.buf != nil {
+		scanBufPool.Put(d.buf)
+		d.buf = nil
+		d.scan = nil
+	}
 }
 
 // next decodes the next non-empty line into msg; io.EOF at clean stream

@@ -47,6 +47,11 @@ type Config struct {
 	// of pinning them forever. <= 0 means 2 minutes; generous next to the
 	// 30 Hz kinematics rate the monitor is built for.
 	StreamIdleTimeout time.Duration
+	// DisableBinary turns off the binary wire codec: requests negotiating
+	// application/x-safemon-frames get HTTP 415 and /v1/mux is refused,
+	// leaving NDJSON as the only transport. For fleets that want the
+	// edge pinned to the always-works default.
+	DisableBinary bool
 	// Ledger, when set, records every stream into the durable event
 	// ledger — session lifecycle, per-frame verdicts (with their input
 	// frames), guard action edges, and model swaps — and enables the
@@ -64,8 +69,12 @@ type Config struct {
 //
 // Endpoints:
 //
-//	POST /v1/stream?backend=NAME[&policy=NAME]  NDJSON duplex frame/verdict
-//	     stream; with a policy, guard action records are interleaved
+//	POST /v1/stream?backend=NAME[&policy=NAME]  duplex frame/verdict stream
+//	     (NDJSON by default, binary via Content-Type/Accept:
+//	     application/x-safemon-frames); with a policy, guard action
+//	     records are interleaved
+//	POST /v1/mux                  multiplexed binary connection carrying
+//	     many logical sessions (open/frame/close records with a sid)
 //	GET  /v1/backends             served backend names
 //	GET  /v1/models               served model versions
 //	POST /v1/models/reload        hot-swap to the loader's current models
@@ -84,6 +93,7 @@ type Server struct {
 	policies    map[string]guard.Policy
 	policyNames []string
 	mitigation  mitigationCounters
+	codec       codecCounters
 
 	// reloadMu serializes Reload calls (the swap itself is atomic).
 	reloadMu sync.Mutex
@@ -120,6 +130,7 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/mux", s.handleMux)
 	s.mux.HandleFunc("/v1/backends", s.handleBackends)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/models/reload", s.handleReload)
@@ -142,6 +153,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.manager.snapshot(s.manager.backendNames(), time.Since(s.start))
 	snap.Mitigation = s.mitigation.snapshot(s.policyNames)
+	snap.Codec = s.codec.snapshot()
 	if s.cfg.Ledger != nil {
 		ls := s.cfg.Ledger.Stats()
 		snap.Ledger = &ls
@@ -222,10 +234,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleStream is the NDJSON duplex endpoint. Admission errors (unknown
-// backend, draining, session cap) are HTTP statuses; once the stream is
-// admitted, errors become terminal NDJSON records so the verdict prefix
-// already delivered stays valid.
+// handleStream is the duplex streaming endpoint. The codec is negotiated
+// per request — NDJSON by default, the binary record format when
+// Content-Type or Accept names application/x-safemon-frames — and
+// admission errors (unknown backend, draining, session cap) are HTTP
+// statuses; once the stream is admitted, errors become terminal records
+// in the stream's codec so the verdict prefix already delivered stays
+// valid.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// Stream connections are one-shot: telling the client (and our own
 	// http.Server) the connection won't be reused keeps error responses
@@ -234,6 +249,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "close")
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	binary := wantsBinary(r)
+	if binary && s.cfg.DisableBinary {
+		http.Error(w, "binary codec disabled; send NDJSON", http.StatusUnsupportedMediaType)
 		return
 	}
 	backend := r.URL.Query().Get("backend")
@@ -288,24 +308,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusHTTPVersionNotSupported)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	if binary {
+		w.Header().Set("Content-Type", BinaryContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.WriteHeader(http.StatusOK)
 	rc.Flush()
 
-	out := json.NewEncoder(w)
-	emit := func(msg ServerMsg) {
-		if err := out.Encode(msg); err != nil {
-			return
-		}
-		rc.Flush()
-	}
-
-	// NDJSON records are read line by line with a hard per-record size
-	// cap: the stream as a whole is unbounded, but no single record may
+	// Records are read under a hard per-record size cap in both codecs:
+	// the stream as a whole is unbounded, but no single record may
 	// buffer without bound (the same no-unbounded-buffering contract the
 	// shard mailboxes enforce). The idle deadline is re-armed before each
 	// record so a silent client cannot pin its session slot forever.
-	dec := newRecordReader(r.Body)
+	var conn streamConn
+	if binary {
+		conn = newBinStream(r.Body, w, func() { rc.Flush() })
+		s.codec.binaryStreams.Add(1)
+	} else {
+		conn = newJSONStream(r.Body, w, func() { rc.Flush() })
+		s.codec.jsonStreams.Add(1)
+	}
+	defer conn.release()
 	armIdle := func() { rc.SetReadDeadline(time.Now().Add(s.cfg.StreamIdleTimeout)) }
 
 	// The first record may carry the stream's ground-truth labels.
@@ -313,16 +337,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var pending *ClientMsg
 	var first ClientMsg
 	armIdle()
-	switch err := dec.next(&first); {
+	switch err := conn.next(&first); {
 	case errors.Is(err, io.EOF):
-		emit(ServerMsg{Done: &DoneMsg{}})
+		conn.done(0)
 		return
 	case err != nil:
-		emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()}})
+		conn.fail(&ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()})
 		return
 	case first.Labels != nil && first.Frame != nil:
-		emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest,
-			Message: "labels and frame in one record; send the labels header on its own line"}})
+		conn.fail(&ErrorMsg{Code: http.StatusBadRequest,
+			Message: "labels and frame in one record; send the labels header on its own line"})
 		return
 	case first.Frame == nil:
 		labels = first.Labels
@@ -332,7 +356,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	sess, err := s.manager.Open(backend, labels)
 	if err != nil {
-		emit(ServerMsg{Error: openError(err)})
+		conn.fail(openError(err))
 		return
 	}
 	reserved = false // the session owns the slot now
@@ -356,7 +380,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// Policies are validated at construction; reaching this is a
 			// server bug, not a client error.
 			healthy = false
-			emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusInternalServerError, Message: err.Error()}})
+			conn.fail(&ErrorMsg{Code: http.StatusInternalServerError, Message: err.Error()})
 			return
 		}
 	}
@@ -368,17 +392,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		} else {
 			var rc2 ClientMsg
 			armIdle()
-			switch err := dec.next(&rc2); {
+			switch err := conn.next(&rc2); {
 			case errors.Is(err, io.EOF):
 				endReason = "eof"
-				emit(ServerMsg{Done: &DoneMsg{Frames: frames}})
+				conn.done(frames)
 				return
 			case err != nil:
 				// Client hung up mid-record or sent garbage; either
 				// way the stream is over.
 				healthy = frames > 0 && errors.Is(err, io.ErrUnexpectedEOF)
 				endReason = "error: bad record"
-				emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()}})
+				conn.fail(&ErrorMsg{Code: http.StatusBadRequest, Message: "bad record: " + err.Error()})
 				return
 			}
 			msg = &rc2
@@ -386,8 +410,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if len(msg.Frame) != frameSize {
 			healthy = false
 			endReason = "error: bad frame"
-			emit(ServerMsg{Error: &ErrorMsg{Code: http.StatusBadRequest,
-				Message: fmt.Sprintf("frame needs %d values, got %d", frameSize, len(msg.Frame))}})
+			conn.fail(&ErrorMsg{Code: http.StatusBadRequest,
+				Message: fmt.Sprintf("frame needs %d values, got %d", frameSize, len(msg.Frame))})
 			return
 		}
 		var frame safemon.Frame
@@ -396,7 +420,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			healthy = false
 			endReason = "error: push"
-			emit(ServerMsg{Error: pushError(err)})
+			conn.fail(pushError(err))
 			return
 		}
 		frames++
@@ -408,10 +432,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// no later than the verdict that caused it.
 			if act := sg.step(wire); act != nil {
 				rec.Action(sg.decision())
-				emit(ServerMsg{Action: act})
+				conn.action(act)
 			}
 		}
-		emit(ServerMsg{Verdict: &wire})
+		conn.verdict(&wire)
 	}
 }
 

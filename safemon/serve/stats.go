@@ -124,6 +124,39 @@ type BatchingSnapshot struct {
 	Fallbacks uint64 `json:"fallbacks"`
 }
 
+// codecCounters tracks which wire codecs the service's streams have
+// negotiated. Stream handlers increment at admission; /stats readers
+// snapshot concurrently.
+type codecCounters struct {
+	jsonStreams   atomic.Uint64 // NDJSON /v1/stream connections admitted
+	binaryStreams atomic.Uint64 // binary /v1/stream connections admitted
+	muxConns      atomic.Uint64 // /v1/mux connections admitted
+	muxSessions   atomic.Uint64 // logical sessions opened over mux conns
+}
+
+// CodecSnapshot is the /stats codec section: how streams reached the
+// service, by transport.
+type CodecSnapshot struct {
+	// JSONStreams counts NDJSON /v1/stream connections admitted.
+	JSONStreams uint64 `json:"json_streams"`
+	// BinaryStreams counts binary-codec /v1/stream connections admitted.
+	BinaryStreams uint64 `json:"binary_streams"`
+	// MuxConns counts multiplexed binary connections admitted.
+	MuxConns uint64 `json:"mux_conns"`
+	// MuxSessions counts logical sessions opened over those connections.
+	MuxSessions uint64 `json:"mux_sessions"`
+}
+
+// snapshot renders the counters.
+func (c *codecCounters) snapshot() CodecSnapshot {
+	return CodecSnapshot{
+		JSONStreams:   c.jsonStreams.Load(),
+		BinaryStreams: c.binaryStreams.Load(),
+		MuxConns:      c.muxConns.Load(),
+		MuxSessions:   c.muxSessions.Load(),
+	}
+}
+
 // StatsSnapshot is the /stats payload: aggregate service counters, the
 // guard mitigation counters, and the per-shard breakdown.
 type StatsSnapshot struct {
@@ -138,6 +171,7 @@ type StatsSnapshot struct {
 	P50LatencyMS   float64            `json:"p50_latency_ms"`
 	P99LatencyMS   float64            `json:"p99_latency_ms"`
 	Batching       BatchingSnapshot   `json:"batching"`
+	Codec          CodecSnapshot      `json:"codec"`
 	Mitigation     MitigationSnapshot `json:"mitigation"`
 	// Ledger is the event-ledger appender's counters; omitted entirely
 	// when the server runs without a ledger, so ledger-less payloads

@@ -7,8 +7,10 @@
 # (BenchmarkSessionStepLoaded), the ledger-recording path
 # (BenchmarkSessionStepLedgered), and the B=16 cross-session micro-batch
 # path (BenchmarkBatchedStep) — plus the guard policy engine's
-# BenchmarkGuardStep and the event ledger's emit path
-# (BenchmarkLedgerAppend), and enforces two budgets:
+# BenchmarkGuardStep, the event ledger's emit path
+# (BenchmarkLedgerAppend) and the binary wire codec's encode+decode
+# round trip (BenchmarkCodecRoundTrip, binary subs only), and enforces
+# two budgets:
 #
 #   1. allocs/op must be 0 on every repeat of every sub-benchmark: the
 #      zero-allocation guarantee README's Performance section documents
@@ -64,10 +66,20 @@ ledgerout="$("$GO" test -run='^$' -bench='^BenchmarkLedgerAppend$' \
 	echo "benchguard: ledger benchmark run failed" >&2
 	exit 1
 }
+# Only the binary subs of the codec round-trip are gated: NDJSON
+# marshals through encoding/json and inherently allocates; the binary
+# wire codec's 0 allocs/op warm path is a documented contract (PR 9).
+codecout="$("$GO" test -run='^$' -bench='^BenchmarkCodecRoundTrip$/^binary' \
+	-benchtime="$BENCHTIME" -count="$BENCHCOUNT" -benchmem ./safemon/serve/)" || {
+	echo "$codecout"
+	echo "benchguard: codec benchmark run failed" >&2
+	exit 1
+}
 out="$out
 $batchout
 $guardout
-$ledgerout"
+$ledgerout
+$codecout"
 echo "$out"
 
 # Benchmark lines look like:
@@ -84,7 +96,7 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 		}
 		close(baseline)
 	}
-	/^Benchmark(SessionStep|BatchedStep|GuardStep|LedgerAppend)/ {
+	/^Benchmark(SessionStep|BatchedStep|GuardStep|LedgerAppend|CodecRoundTrip)/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
 		if ($(NF-1) + 0 > 0) {
@@ -129,4 +141,4 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 	echo "benchguard: hot-path budget exceeded (allocs/op or median ns/op)" >&2
 	exit 1
 }
-echo "benchguard: all session-step, batched-step, guard-step and ledger-append benchmarks within the 0 allocs/op and median ns/op budgets"
+echo "benchguard: all session-step, batched-step, guard-step, ledger-append and codec round-trip benchmarks within the 0 allocs/op and median ns/op budgets"
