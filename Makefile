@@ -26,6 +26,8 @@
 #                      streams with injected faults latch incidents into an
 #                      on-disk event ledger, and every incident must replay
 #                      byte-identically through its original backend
+#   make metriclint  - /metrics namespace lint: naming discipline and no
+#                      unregistered metric names in code or docs
 #   make quant-golden - int8 golden-tolerance harness: quantized detectors
 #                      must match their float twins on the held-out fold +
 #                      fault-injection corpus with zero decisive verdict
@@ -44,9 +46,9 @@ TRAIN_FLAGS ?= -demos 16 -scale 0.5 -epochs 4 -stride 3
 
 .PHONY: ci fmt fmtcheck vet build test race bench bench-smoke benchguard \
 	bench-coldstart fuzz fuzz-replay train lifecycle-smoke mitigate-smoke \
-	incidents-smoke quant-golden
+	incidents-smoke quant-golden metriclint
 
-ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke incidents-smoke quant-golden
+ci: fmtcheck vet build test race fuzz-replay bench-smoke mitigate-smoke incidents-smoke quant-golden metriclint
 
 fmt:
 	gofmt -w .
@@ -113,6 +115,13 @@ mitigate-smoke:
 # backend and policy.
 incidents-smoke:
 	$(GO) run ./cmd/experiments -run incidents
+
+# The /metrics namespace lint: registered families must follow the
+# safemon_*_{total,seconds,bytes} naming discipline, and every metric
+# name mentioned in code, README or the exposition golden must resolve
+# to a real registration (no phantom or misspelled metrics).
+metriclint:
+	sh scripts/metriclint.sh
 
 # The quantization golden-tolerance gate: every nn backend's int8 twin
 # (float artifact loaded WithQuantized) replays the golden corpus with zero

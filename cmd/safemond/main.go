@@ -44,9 +44,13 @@
 // Endpoints: POST /v1/stream?backend=NAME[&policy=NAME] (NDJSON duplex),
 // GET /v1/backends, GET /v1/models, POST /v1/models/reload, GET
 // /v1/policies, GET /v1/incidents, GET /v1/incidents/{id}, POST
-// /v1/incidents/{id}/replay, GET /stats, GET /healthz. See the serve
-// package docs for the wire protocol. SIGINT/SIGTERM drains in-flight
-// streams before exit.
+// /v1/incidents/{id}/replay, GET /stats, GET /metrics (Prometheus text
+// exposition), GET /v1/debug/slowframes, GET /healthz, GET /readyz
+// (503 while draining). With -ops-addr the metrics/pprof/health surfaces
+// are additionally served on a separate listener, keeping scrapes and
+// profiles off the traffic port. Logs go to stderr through log/slog;
+// -log-format selects text or json. See the serve package docs for the
+// wire protocol. SIGINT/SIGTERM drains in-flight streams before exit.
 package main
 
 import (
@@ -54,7 +58,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -90,17 +95,17 @@ type trainOptions struct {
 	epochs    int
 	stride    int
 	scale     float64
-	logf      func(format string, args ...any)
+	log       *slog.Logger
 }
 
 // trainDetectors fits the requested backends on synthetic demonstrations
 // and returns them keyed by backend name.
 func trainDetectors(ctx context.Context, opts trainOptions) (map[string]safemon.Detector, error) {
-	logf := opts.logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.log
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	logf("generating %d suturing demonstrations (seed %d)...", opts.demos, opts.seed)
+	logger.Info("generating suturing demonstrations", "demos", opts.demos, "seed", opts.seed)
 	set, err := synth.Generate(synth.Config{
 		Task: gesture.Suturing, Hz: 30, Seed: opts.seed,
 		NumDemos: opts.demos, NumTrials: 4, Subjects: 4, DurationScale: opts.scale,
@@ -125,12 +130,12 @@ func trainDetectors(ctx context.Context, opts trainOptions) (map[string]safemon.
 		if err != nil {
 			return nil, err
 		}
-		logf("fitting %s on %d demonstrations...", name, len(train))
+		logger.Info("fitting backend", "backend", name, "demos", len(train))
 		start := time.Now()
 		if err := det.Fit(ctx, train); err != nil {
 			return nil, fmt.Errorf("fit %s: %w", name, err)
 		}
-		logf("fitted %s in %.1fs", name, time.Since(start).Seconds())
+		logger.Info("fitted backend", "backend", name, "seconds", time.Since(start).Seconds())
 		detectors[name] = det
 	}
 	return detectors, nil
@@ -197,6 +202,8 @@ func loadModels(store *modelstore.Store, names []string, prior map[string]serve.
 func run(args []string) error {
 	fs := flag.NewFlagSet("safemond", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	opsAddr := fs.String("ops-addr", "", "separate ops listener serving /metrics, /debug/pprof, /healthz, /readyz and /v1/debug/slowframes (empty = ops surfaces on -addr only)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	backends := fs.String("backends", "envelope,context-aware",
 		"comma-separated backends to serve, or 'all' ("+strings.Join(safemon.Backends(), ", ")+")")
 	modelDir := fs.String("model-dir", "", "versioned model store; serve its artifacts instead of fitting at startup (SIGHUP hot-swaps to new versions)")
@@ -224,6 +231,17 @@ func run(args []string) error {
 		return err
 	}
 
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
+
 	names := safemon.Backends()
 	if *backends != "all" {
 		names = strings.Split(*backends, ",")
@@ -247,8 +265,8 @@ func run(args []string) error {
 		for _, p := range policies {
 			policyNames = append(policyNames, p.Name)
 		}
-		log.Printf("loaded %d guard policies from %s: %s",
-			len(policies), *policyFile, strings.Join(policyNames, ", "))
+		logger.Info("loaded guard policies",
+			"count", len(policies), "file", *policyFile, "policies", strings.Join(policyNames, ","))
 	}
 
 	// Offline training mode: fit, persist artifacts, exit.
@@ -263,7 +281,7 @@ func run(args []string) error {
 		detectors, err := trainDetectors(ctx, trainOptions{
 			backends: names, threshold: *threshold, demos: *demos,
 			seed: *seed, epochs: *epochs, stride: *stride, scale: *scale,
-			logf: log.Printf,
+			log: logger,
 		})
 		if err != nil {
 			return err
@@ -273,7 +291,8 @@ func run(args []string) error {
 			return err
 		}
 		for _, m := range manifests {
-			log.Printf("saved %s/%s (%d bytes, config %s)", m.Backend, m.Version, m.SizeBytes, m.TrainConfigHash)
+			logger.Info("saved artifact",
+				"backend", m.Backend, "version", m.Version, "bytes", m.SizeBytes, "config", m.TrainConfigHash)
 		}
 		return nil
 	}
@@ -310,7 +329,8 @@ func run(args []string) error {
 			// appear. Removal requires a restart.
 			for name, prev := range lastLoaded {
 				if _, ok := models[name]; !ok {
-					log.Printf("store no longer lists %s; keeping incumbent model %s", name, prev.Version)
+					logger.Warn("store no longer lists backend; keeping incumbent model",
+						"backend", name, "version", prev.Version)
 					models[name] = prev
 				}
 			}
@@ -324,18 +344,19 @@ func run(args []string) error {
 		}
 		names = make([]string, 0, len(models))
 		for name, m := range models {
-			log.Printf("loaded %s model %s from %s", name, m.Version, *modelDir)
+			logger.Info("loaded model", "backend", name, "version", m.Version, "dir", *modelDir)
 			names = append(names, name)
 		}
 		sort.Strings(names)
-		log.Printf("cold start from artifacts in %s (no training)", time.Since(start).Round(time.Millisecond))
+		logger.Info("cold start from artifacts (no training)",
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 		cfg.Models = models
 		cfg.Loader = loader
 	} else {
 		detectors, err := trainDetectors(ctx, trainOptions{
 			backends: names, threshold: *threshold, demos: *demos,
 			seed: *seed, epochs: *epochs, stride: *stride, scale: *scale,
-			logf: log.Printf,
+			log: logger,
 		})
 		if err != nil {
 			return err
@@ -358,11 +379,11 @@ func run(args []string) error {
 			return fmt.Errorf("open ledger: %w", err)
 		}
 		if n := store.RecoveredBytes(); n > 0 {
-			log.Printf("ledger recovery truncated %d bytes of torn tail", n)
+			logger.Warn("ledger recovery truncated torn tail", "bytes", n)
 		}
 		segs, active := store.Segments()
-		log.Printf("ledger at %s: %d bytes across %d segments (active %s)",
-			*ledgerDir, store.SizeBytes(), segs, active)
+		logger.Info("ledger opened",
+			"dir", *ledgerDir, "bytes", store.SizeBytes(), "segments", segs, "active", active)
 		app = ledger.NewAppender(store, ledger.Options{})
 		cfg.Ledger = app
 	}
@@ -377,7 +398,7 @@ func run(args []string) error {
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
 	}
-	cfg.Logf = log.Printf
+	cfg.Logger = logger
 	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
@@ -391,9 +412,28 @@ func run(args []string) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// The ops listener keeps scrapes, pprof, and readiness probes off the
+	// traffic port: a stream stampede cannot starve the scraper, and the
+	// ops port can stay cluster-internal while -addr faces clients.
+	var ops *http.Server
+	if *opsAddr != "" {
+		ops = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			logger.Info("ops listener", "addr", *opsAddr)
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("ops listener failed", "err", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %s on %s", strings.Join(names, ", "), *addr)
+		logger.Info("serving", "backends", strings.Join(names, ","), "addr", *addr)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -410,15 +450,15 @@ loop:
 				// touching in-flight streams.
 				models, err := srv.Reload(ctx)
 				if err != nil {
-					log.Printf("reload failed: %v", err)
+					logger.Error("reload failed", "err", err)
 					continue
 				}
 				for _, m := range models {
-					log.Printf("reloaded %s -> %s", m.Backend, m.Version)
+					logger.Info("reloaded model", "backend", m.Backend, "version", m.Version)
 				}
 				continue
 			}
-			log.Printf("caught %v, draining (budget %s)...", sig, *drainTimeout)
+			logger.Info("draining", "signal", sig.String(), "budget", drainTimeout.String())
 			break loop
 		}
 	}
@@ -431,16 +471,23 @@ loop:
 	defer cancel()
 	err = hs.Shutdown(shutdownCtx)
 	srv.Shutdown()
+	if ops != nil {
+		// The ops listener outlives the traffic drain so /readyz reports
+		// "draining" and the final metrics stay scrapeable until the end.
+		opsCtx, opsCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ops.Shutdown(opsCtx)
+		opsCancel()
+	}
 	if app != nil {
 		// The server flushed during Shutdown; Close drains any stragglers,
 		// fsyncs, and seals the active segment.
 		if cerr := app.Close(); cerr != nil {
-			log.Printf("ledger close: %v", cerr)
+			logger.Error("ledger close", "err", cerr)
 		}
 	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("drained; final stats: %+v", srv.Stats())
+	logger.Info("drained", "stats", fmt.Sprintf("%+v", srv.Stats()))
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"log/slog"
 	"net/http/httptest"
 	"testing"
 
@@ -14,6 +15,15 @@ import (
 	"repro/safemon/modelstore"
 	"repro/safemon/serve"
 )
+
+// testWriter routes slog output through t.Logf so training progress
+// lands in the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // fitGuard wraps a loaded detector and fails the test if anything on the
 // serving path ever calls Fit — the artifact path's core promise.
@@ -44,7 +54,8 @@ func TestLifecycleSmoke(t *testing.T) {
 	// as `safemond -train-only -model-dir ...` does.
 	topts := trainOptions{
 		backends: []string{"envelope", "skipchain"}, threshold: 0.2,
-		demos: 10, seed: 5, scale: 0.35, logf: t.Logf,
+		demos: 10, seed: 5, scale: 0.35,
+		log: slog.New(slog.NewTextHandler(testWriter{t}, nil)),
 	}
 	fitted, err := trainDetectors(ctx, topts)
 	if err != nil {

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LogBuckets is the number of power-of-two latency buckets: bucket i
+// counts durations in [2^i, 2^(i+1)) nanoseconds, covering
+// sub-microsecond operations up to multi-second stalls (2^36 ns ≈ 69 s;
+// anything slower clamps into the top bucket).
+const LogBuckets = 36
+
+// Histogram is a lock-free log2 latency histogram: 36 power-of-two
+// nanosecond buckets plus a running sum. ObserveNS is two atomic adds —
+// no locks, no allocation — so it is safe on the per-frame hot path;
+// scrapes snapshot the buckets concurrently. Rendered values (bucket
+// bounds, sum) are in seconds, the Prometheus base unit.
+type Histogram struct {
+	counts [LogBuckets]atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNS(d.Nanoseconds()) }
+
+// ObserveNS records one sample in nanoseconds (values < 1 count as 1).
+func (h *Histogram) ObserveNS(ns int64) {
+	if ns < 1 {
+		ns = 1
+	}
+	i := bits.Len64(uint64(ns)) - 1
+	if i >= LogBuckets {
+		i = LogBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Counts snapshots the bucket counts.
+func (h *Histogram) Counts() [LogBuckets]uint64 {
+	var counts [LogBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts
+}
+
+// SumNS returns the running sum of observed nanoseconds.
+func (h *Histogram) SumNS() int64 { return h.sumNS.Load() }
+
+// QuantileNS returns the q-th (0..1) quantile of the observed samples
+// in nanoseconds; NaN when empty.
+func (h *Histogram) QuantileNS(q float64) float64 {
+	counts := h.Counts()
+	return LogQuantileNS(counts[:], q)
+}
+
+// LogQuantileNS returns the q-th (0..1) quantile of a log2 bucket-count
+// snapshot (bucket i spanning [2^i, 2^(i+1)) ns) in nanoseconds; NaN
+// when the histogram is empty.
+//
+// The rank is located in its bucket and then interpolated log-linearly
+// within the bucket's span, assuming samples spread evenly across it in
+// log space. Resolving to the bucket's upper bound instead over-reports
+// every quantile by up to 2×: a single sample near 2^i would be
+// reported as 2^(i+1). With the half-sample midpoint convention a lone
+// sample resolves to 2^(i+0.5), the geometric mean of the bucket
+// bounds.
+func LogQuantileNS(counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			pos := float64(rank-(cum-c)) + 0.5
+			frac := pos / float64(c)
+			return math.Exp2(float64(i) + frac)
+		}
+	}
+	return math.NaN()
+}
+
+// floatBits / floatFromBits are the Gauge's float64 <-> atomic bits
+// mapping.
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

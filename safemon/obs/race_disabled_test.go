@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation inflates allocation measurements.
+const raceEnabled = false

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_frames_total", "Frames served.", Label{"shard", "0"})
+	c.Add(3)
+	c.Inc()
+	// Idempotent: same name+labels returns the same counter.
+	if again := r.Counter("test_frames_total", "Frames served.", Label{"shard", "0"}); again != c {
+		t.Fatalf("re-registration minted a new counter")
+	}
+	r.Counter("test_frames_total", "Frames served.", Label{"shard", "1"}).Add(7)
+	g := r.Gauge("test_queue_bytes", "Queue size.")
+	g.Set(12.5)
+	r.CounterFunc("test_drops_total", "Drops.", func() uint64 { return 9 })
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 2 })
+	r.GaugeCollector("test_model_loaded_seconds", "Model load time.", func(emit Emit) {
+		emit(1.5, Label{"backend", "a"})
+		emit(2.5, Label{"backend", "b"})
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP test_drops_total Drops.
+# TYPE test_drops_total counter
+test_drops_total 9
+# HELP test_frames_total Frames served.
+# TYPE test_frames_total counter
+test_frames_total{shard="0"} 4
+test_frames_total{shard="1"} 7
+# HELP test_model_loaded_seconds Model load time.
+# TYPE test_model_loaded_seconds gauge
+test_model_loaded_seconds{backend="a"} 1.5
+test_model_loaded_seconds{backend="b"} 2.5
+# HELP test_queue_bytes Queue size.
+# TYPE test_queue_bytes gauge
+test_queue_bytes 12.5
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 2
+`
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelCanonicalization(t *testing.T) {
+	r := NewRegistry()
+	// Key order must not matter: both orders name the same series.
+	a := r.Counter("test_x_total", "x", Label{"b", "2"}, Label{"a", "1"})
+	b := r.Counter("test_x_total", "x", Label{"a", "1"}, Label{"b", "2"})
+	if a != b {
+		t.Fatalf("label order minted distinct series")
+	}
+	a.Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `test_x_total{a="1",b="2"} 1`) {
+		t.Fatalf("labels not rendered sorted:\n%s", sb.String())
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "e", Label{"v", "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `test_esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("invalid name", func() { NewRegistry().Counter("0bad", "x") })
+	expectPanic("invalid label key", func() { NewRegistry().Counter("test_a_total", "x", Label{"0k", "v"}) })
+	expectPanic("duplicate label key", func() {
+		NewRegistry().Counter("test_a_total", "x", Label{"k", "1"}, Label{"k", "2"})
+	})
+	expectPanic("kind conflict", func() {
+		r := NewRegistry()
+		r.Counter("test_a_total", "x")
+		r.Gauge("test_a_total", "x")
+	})
+	expectPanic("func duplicate", func() {
+		r := NewRegistry()
+		r.CounterFunc("test_a_total", "x", func() uint64 { return 0 })
+		r.CounterFunc("test_a_total", "x", func() uint64 { return 0 })
+	})
+	expectPanic("collector conflict", func() {
+		r := NewRegistry()
+		r.GaugeCollector("test_a_seconds", "x", func(Emit) {})
+		r.Gauge("test_a_seconds", "x")
+	})
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "Latency.", Label{"stage", "infer"})
+	h.ObserveNS(1) // bucket 0: [1,2) ns
+	h.ObserveNS(3) // bucket 1: [2,4) ns
+	h.Observe(3 * time.Nanosecond)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		`test_lat_seconds_bucket{stage="infer",le="2e-09"} 1`,
+		`test_lat_seconds_bucket{stage="infer",le="4e-09"} 3`,
+		`test_lat_seconds_bucket{stage="infer",le="+Inf"} 3`,
+		`test_lat_seconds_sum{stage="infer"} 7e-09`,
+		`test_lat_seconds_count{stage="infer"} 3`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SlowStages is the fixed stage-slot count of a slow-frame exemplar.
+// Callers with fewer stages leave the tail zero.
+const SlowStages = 8
+
+// SlowMeta is the immutable per-stream context attached to a slow-frame
+// exemplar. It is allocated once at stream admission (off the hot path)
+// and shared by reference by every frame the stream offers.
+type SlowMeta struct {
+	// Session is the server-assigned stream ordinal.
+	Session uint64
+	// Backend, Codec, Model and Policy identify what served the frame.
+	Backend string
+	Codec   string
+	Model   string
+	Policy  string
+	// Stages names the stage slots (Stages[i] labels durations[i]);
+	// empty slots are unused.
+	Stages *[SlowStages]string
+}
+
+// SlowFrame is one exemplar read back from the ring.
+type SlowFrame struct {
+	// TotalNS is the frame's summed stage time.
+	TotalNS int64
+	// WhenNS is the frame's completion wall-clock time (UnixNano).
+	WhenNS int64
+	// Frame is the frame's index within its stream.
+	Frame int64
+	// StageNS are the per-stage durations, indexed like Meta.Stages.
+	StageNS [SlowStages]int64
+	// Meta is the stream context.
+	Meta *SlowMeta
+}
+
+// slowSlot is one ring entry. Every field is its own atomic: a reader
+// racing a writer may observe a torn combination (e.g. the new total
+// with the old stages), but each field is itself a valid value, and
+// exemplars are diagnostic samples, not an audited ledger — the ring
+// trades per-slot locking for a hot path that is one atomic load in the
+// overwhelmingly common fast-reject case.
+type slowSlot struct {
+	total  atomic.Int64
+	when   atomic.Int64
+	frame  atomic.Int64
+	stages [SlowStages]atomic.Int64
+	meta   atomic.Pointer[SlowMeta]
+}
+
+// SlowRing retains the N slowest recent frames. Offer is lock-free and
+// allocation-free; the fast path (frame not slower than the current
+// floor) is a single atomic load and compare. Entries older than the
+// TTL count as empty, so a burst of historic stalls ages out instead of
+// capping the ring forever.
+type SlowRing struct {
+	slots    []slowSlot
+	ttlNS    int64
+	floor    atomic.Int64 // min total across live slots; admission threshold
+	floorAt  atomic.Int64 // when the floor was computed (UnixNano)
+	admitted atomic.Uint64
+}
+
+// NewSlowRing returns a ring of n slots (n <= 0 means 32) with the
+// given entry TTL (<= 0 means 10 minutes).
+func NewSlowRing(n int, ttl time.Duration) *SlowRing {
+	if n <= 0 {
+		n = 32
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	return &SlowRing{slots: make([]slowSlot, n), ttlNS: ttl.Nanoseconds()}
+}
+
+// Offer proposes one frame: totalNS is its summed stage time, whenNS
+// its completion wall-clock (UnixNano), frame its index within the
+// stream, stages its per-stage durations (copied out), meta the shared
+// stream context. Returns whether the frame displaced a slot.
+func (r *SlowRing) Offer(totalNS, whenNS, frame int64, stages *[SlowStages]int64, meta *SlowMeta) bool {
+	// Fast reject: not slower than the slowest ring is keeping, and the
+	// floor is fresh enough to trust. A stale floor (nothing admitted
+	// for a TTL) falls through so expired entries can be reclaimed.
+	if totalNS <= r.floor.Load() && whenNS-r.floorAt.Load() < r.ttlNS {
+		return false
+	}
+	cut := whenNS - r.ttlNS
+	vi, vmin := -1, int64(math.MaxInt64)
+	for i := range r.slots {
+		s := &r.slots[i]
+		t := s.total.Load()
+		if s.when.Load() < cut {
+			t = 0
+		}
+		if t < vmin {
+			vmin, vi = t, i
+		}
+	}
+	if vmin >= totalNS {
+		// Raced with concurrent admissions: every slot is now at least
+		// this slow. Refresh the floor and drop the frame.
+		r.floor.Store(vmin)
+		r.floorAt.Store(whenNS)
+		return false
+	}
+	s := &r.slots[vi]
+	s.total.Store(totalNS)
+	s.when.Store(whenNS)
+	s.frame.Store(frame)
+	for i := range stages {
+		s.stages[i].Store(stages[i])
+	}
+	s.meta.Store(meta)
+	r.admitted.Add(1)
+	// Recompute the admission floor over the updated ring.
+	min := int64(math.MaxInt64)
+	for i := range r.slots {
+		s := &r.slots[i]
+		t := s.total.Load()
+		if s.when.Load() < cut {
+			t = 0
+		}
+		if t < min {
+			min = t
+		}
+	}
+	r.floor.Store(min)
+	r.floorAt.Store(whenNS)
+	return true
+}
+
+// Admitted counts frames the ring has accepted since start.
+func (r *SlowRing) Admitted() uint64 { return r.admitted.Load() }
+
+// Snapshot returns the live (non-empty, non-expired) exemplars, slowest
+// first.
+func (r *SlowRing) Snapshot() []SlowFrame {
+	cut := time.Now().UnixNano() - r.ttlNS
+	out := make([]SlowFrame, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		total := s.total.Load()
+		when := s.when.Load()
+		meta := s.meta.Load()
+		if total <= 0 || when < cut || meta == nil {
+			continue
+		}
+		f := SlowFrame{TotalNS: total, WhenNS: when, Frame: s.frame.Load(), Meta: meta}
+		for j := range f.StageNS {
+			f.StageNS[j] = s.stages[j].Load()
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNS > out[j].TotalNS })
+	return out
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func offerFrame(r *SlowRing, totalNS, whenNS int64, meta *SlowMeta) bool {
+	stages := [SlowStages]int64{totalNS}
+	return r.Offer(totalNS, whenNS, 0, &stages, meta)
+}
+
+func TestSlowRingKeepsSlowest(t *testing.T) {
+	r := NewSlowRing(3, time.Minute)
+	meta := &SlowMeta{Backend: "envelope", Codec: "binary"}
+	now := time.Now().UnixNano()
+	for i, total := range []int64{100, 500, 300, 50, 900, 400} {
+		offerFrame(r, total, now+int64(i), meta)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	want := []int64{900, 500, 400}
+	for i, f := range snap {
+		if f.TotalNS != want[i] {
+			t.Fatalf("snapshot[%d].TotalNS = %d, want %d (%+v)", i, f.TotalNS, want[i], snap)
+		}
+		if f.Meta != meta {
+			t.Fatalf("snapshot[%d] lost its meta", i)
+		}
+	}
+	// 50 never displaced anything; once the ring is full of slower
+	// frames, the floor rejects it on the fast path.
+	if offerFrame(r, 50, now+100, meta) {
+		t.Fatalf("ring admitted a frame below its floor")
+	}
+	if got := r.Admitted(); got != 5 {
+		t.Fatalf("admitted = %d, want 5", got)
+	}
+}
+
+func TestSlowRingTTLExpiry(t *testing.T) {
+	r := NewSlowRing(2, time.Minute)
+	meta := &SlowMeta{}
+	base := time.Now().Add(-10 * time.Minute).UnixNano()
+	offerFrame(r, 1000, base, meta)
+	offerFrame(r, 2000, base, meta)
+	// Both entries are long expired: a much faster new frame must still
+	// land (the stale floor falls through, the expired slots read as
+	// empty) — and the snapshot hides the expired ones.
+	now := time.Now().UnixNano()
+	if !offerFrame(r, 10, now, meta) {
+		t.Fatalf("ring rejected a frame though every entry expired")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].TotalNS != 10 {
+		t.Fatalf("snapshot = %+v, want just the fresh frame", snap)
+	}
+}
+
+func TestSlowRingStageCopy(t *testing.T) {
+	r := NewSlowRing(1, time.Minute)
+	meta := &SlowMeta{}
+	stages := [SlowStages]int64{1, 2, 3}
+	now := time.Now().UnixNano()
+	r.Offer(6, now, 42, &stages, meta)
+	stages[0] = 99 // the ring copied the values, not the pointer
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].StageNS[0] != 1 || snap[0].StageNS[1] != 2 || snap[0].StageNS[2] != 3 {
+		t.Fatalf("stage copy wrong: %+v", snap[0].StageNS)
+	}
+	if snap[0].Frame != 42 {
+		t.Fatalf("frame index = %d", snap[0].Frame)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"repro/safemon"
 )
@@ -414,6 +415,10 @@ type binReader struct {
 	// when its payload failed to decode (errBadPayload errors) — the mux
 	// handler uses it to fail just the offending session.
 	lastSID uint32
+	// decNS is the parse time of the most recent record — just the
+	// DecodeBinaryRecord call, excluding the network reads — for the
+	// decode stage histogram.
+	decNS int64
 }
 
 func newBinReader(r io.Reader) *binReader {
@@ -457,7 +462,10 @@ func (d *binReader) next() (*BinaryRecord, error) {
 		}
 		return nil, err
 	}
-	if _, err := DecodeBinaryRecord(d.scratch[:total], &d.rec); err != nil {
+	start := time.Now()
+	_, err := DecodeBinaryRecord(d.scratch[:total], &d.rec)
+	d.decNS = time.Since(start).Nanoseconds()
+	if err != nil {
 		return &d.rec, err
 	}
 	return &d.rec, nil

@@ -47,7 +47,7 @@ func newGuardedService(t *testing.T, policies ...guard.Policy) (*Server, *Client
 
 // guardProbeFrames returns safe frames (drawn from the training set, by
 // construction inside the envelope) and a wild frame far outside it.
-func guardProbeFrames(t *testing.T) (safe, wild safemon.Frame) {
+func guardProbeFrames(t testing.TB) (safe, wild safemon.Frame) {
 	t.Helper()
 	fold := testFold(t)
 	safe = fold.Train[0].Frames[10]

@@ -168,7 +168,7 @@ func (s *Server) Reload(ctx context.Context) ([]ModelInfo, error) {
 	}
 	infos := s.manager.Models()
 	for _, mi := range infos {
-		s.logf("serving %s model %s", mi.Backend, mi.Version)
+		s.log().Info("serving model", "backend", mi.Backend, "version", mi.Version)
 		if prev[mi.Backend] != mi.Version {
 			ledger.ModelSwap(s.cfg.Ledger, mi.Backend, mi.Version, prev[mi.Backend])
 		}

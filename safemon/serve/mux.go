@@ -93,12 +93,20 @@ func (m *muxWriter) error(sid uint32, e *ErrorMsg) {
 	m.flush()
 }
 
+// muxFrame is one routed frame plus its decode-parse time (measured by
+// the connection reader, attributed to the frame's decode stage by the
+// session goroutine).
+type muxFrame struct {
+	frame safemon.Frame
+	decNS int64
+}
+
 // muxSession is the connection reader's handle on one logical session:
 // a bounded frame channel into the session goroutine plus the kill
 // switch for per-sid backpressure cuts.
 type muxSession struct {
 	sid  uint32
-	in   chan safemon.Frame
+	in   chan muxFrame
 	quit chan struct{} // closed by kill: abandon queued frames and exit
 	// reason is the ledger end-reason for a killed session; written
 	// before quit closes, read after it fires.
@@ -112,16 +120,17 @@ type muxSession struct {
 
 // offer routes one frame, waiting up to timeout when the channel is
 // full; false means the session goroutine cannot keep up (per-sid 429).
-func (ms *muxSession) offer(f *safemon.Frame, timeout time.Duration) bool {
+func (ms *muxSession) offer(f *safemon.Frame, decNS int64, timeout time.Duration) bool {
+	mf := muxFrame{frame: *f, decNS: decNS}
 	select {
-	case ms.in <- *f:
+	case ms.in <- mf:
 		return true
 	default:
 	}
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
-	case ms.in <- *f:
+	case ms.in <- mf:
 		return true
 	case <-t.C:
 		return false
@@ -247,7 +256,7 @@ func (s *Server) handleMux(w http.ResponseWriter, r *http.Request) {
 			if ms == nil || ms.failed.Load() {
 				continue // unknown or already-failed sid: drop
 			}
-			if !ms.offer(&rec.Frame, s.manager.cfg.EnqueueTimeout) {
+			if !ms.offer(&rec.Frame, dec.decNS, s.manager.cfg.EnqueueTimeout) {
 				mw.error(rec.SID, &ErrorMsg{Code: http.StatusTooManyRequests, Message: ErrQueueFull.Error()})
 				ms.kill("error: queue full")
 				delete(sessions, rec.SID)
@@ -329,20 +338,22 @@ func (s *Server) muxOpen(r *http.Request, mw *muxWriter, sessions map[uint32]*mu
 		}
 	}
 	s.codec.muxSessions.Add(1)
-	ms := &muxSession{sid: sid, in: make(chan safemon.Frame, muxInDepth), quit: make(chan struct{})}
+	tr := s.metrics.streamTrace(backend, "binary-mux", sess.Version(), policyName,
+		s.manager.cfg.MaxBatch > 1, s.cfg.Ledger != nil)
+	ms := &muxSession{sid: sid, in: make(chan muxFrame, muxInDepth), quit: make(chan struct{})}
 	sessions[sid] = ms
 	mw.opened(sid, sess.Version())
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.runMuxSession(r.Context(), ms, sess, sg, backend, policyName, labels, mw)
+		s.runMuxSession(r.Context(), ms, sess, sg, tr, backend, policyName, labels, mw)
 	}()
 }
 
 // runMuxSession is one logical session's pump: frames in from the
 // connection reader, verdicts (and guard actions) out through the shared
 // writer, with the same ledger recording as a /v1/stream handler.
-func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Session, sg *streamGuard, backend, policyName string, labels []int, mw *muxWriter) {
+func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Session, sg *streamGuard, tr *streamTrace, backend, policyName string, labels []int, mw *muxWriter) {
 	rec := ledger.NewRecorder(s.cfg.Ledger, backend, sess.Version(), policyName)
 	rec.Start(labels32(labels))
 	frames := 0
@@ -352,6 +363,10 @@ func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Sessio
 		rec.End(frames, endReason)
 		sess.Release(healthy)
 	}()
+	// Reused across the loop like handleStream's frame: its pointer rides
+	// the shard mailbox, and Push blocks until the shard replied, so
+	// hoisting it saves one heap allocation per frame.
+	var frame safemon.Frame
 	for {
 		// Kill wins over queued frames: a 429-cut session must stop
 		// promptly, not finish its backlog.
@@ -367,12 +382,14 @@ func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Sessio
 			healthy = false
 			endReason = ms.reason
 			return
-		case frame, ok := <-ms.in:
+		case mf, ok := <-ms.in:
 			if !ok {
 				endReason = "eof"
 				mw.done(ms.sid, frames)
 				return
 			}
+			frame = mf.frame
+			tr.setStage(stageDecode, mf.decNS)
 			v, err := sess.Push(ctx, &frame)
 			if err != nil {
 				healthy = false
@@ -381,17 +398,37 @@ func (s *Server) runMuxSession(ctx context.Context, ms *muxSession, sess *Sessio
 				mw.error(ms.sid, pushError(err))
 				return
 			}
+			tr.setStage(stageQueue, sess.trace.queueNS)
+			tr.setStage(stageGather, sess.trace.gatherNS)
+			tr.setStage(stageInfer, sess.trace.inferNS)
 			frames++
 			wire := WireVerdict(v)
+			t0 := time.Now()
 			rec.Verdict(v, &frame)
+			t1 := time.Now()
+			// Guard covers the step decision and its ledger edge; encode
+			// covers the wire write (actionVerdict bundles action+verdict
+			// under one lock, so the pair lands in encode together).
+			t2 := t1
+			emitted := false
 			if sg != nil {
 				if act := sg.step(wire); act != nil {
 					rec.Action(sg.decision())
+					t2 = time.Now()
 					mw.actionVerdict(ms.sid, act, &wire)
-					continue
+					emitted = true
+				} else {
+					t2 = time.Now()
 				}
 			}
-			mw.verdict(ms.sid, &wire)
+			if !emitted {
+				mw.verdict(ms.sid, &wire)
+			}
+			end := time.Now()
+			tr.setStage(stageLedger, t1.Sub(t0).Nanoseconds())
+			tr.setStage(stageGuard, t2.Sub(t1).Nanoseconds())
+			tr.setStage(stageEncode, end.Sub(t2).Nanoseconds())
+			tr.observe(frames-1, end.UnixNano())
 		}
 	}
 }

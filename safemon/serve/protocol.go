@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"repro/safemon"
 )
@@ -166,6 +167,10 @@ var scanBufPool = sync.Pool{
 type recordReader struct {
 	scan *bufio.Scanner
 	buf  *[]byte // pooled scan buffer, returned by release
+	// decNS is the parse time of the most recent record — just the
+	// DecodeRecord call, excluding the network wait for the line — for
+	// the decode stage histogram.
+	decNS int64
 }
 
 func newRecordReader(r io.Reader) *recordReader {
@@ -193,7 +198,10 @@ func (d *recordReader) next(msg *ClientMsg) error {
 		if len(line) == 0 {
 			continue
 		}
-		return DecodeRecord(line, msg)
+		start := time.Now()
+		err := DecodeRecord(line, msg)
+		d.decNS = time.Since(start).Nanoseconds()
+		return err
 	}
 	if err := d.scan.Err(); err != nil {
 		if errors.Is(err, bufio.ErrTooLong) {

@@ -24,7 +24,7 @@ var foldFixture struct {
 	err  error
 }
 
-func testFold(t *testing.T) dataset.LOSOSplit {
+func testFold(t testing.TB) dataset.LOSOSplit {
 	t.Helper()
 	foldFixture.once.Do(func() {
 		demos, err := synth.Generate(synth.Config{
@@ -63,7 +63,7 @@ var fittedFixture struct {
 	m  map[string]safemon.Detector
 }
 
-func fittedDetector(t *testing.T, backend string) safemon.Detector {
+func fittedDetector(t testing.TB, backend string) safemon.Detector {
 	t.Helper()
 	fold := testFold(t)
 	fittedFixture.mu.Lock()

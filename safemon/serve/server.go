@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/safemon"
 	"repro/safemon/guard"
 	"repro/safemon/ledger"
+	"repro/safemon/obs"
 )
 
 // Config assembles a Server.
@@ -60,8 +62,14 @@ type Config struct {
 	// the caller: Server.Shutdown flushes it but does not close it. Nil
 	// disables recording and the incident API.
 	Ledger *ledger.Appender
-	// Logf receives service log lines; nil discards them.
-	Logf func(format string, args ...any)
+	// Metrics is the registry GET /metrics renders; every /stats counter
+	// is exported through it. Nil mints a private registry (the common
+	// case). A registry must not be shared between servers: series
+	// names would collide.
+	Metrics *obs.Registry
+	// Logger receives service log lines with keyed fields; nil discards
+	// them.
+	Logger *slog.Logger
 }
 
 // Server is the safemond HTTP service. Mount Handler on any http.Server
@@ -81,12 +89,19 @@ type Config struct {
 //	GET  /v1/policies             configured guard mitigation policies
 //	GET  /stats                   per-shard throughput + latency quantiles
 //	                              + mitigation counters
-//	GET  /healthz                 ok / draining
+//	GET  /metrics                 Prometheus text exposition of the same
+//	                              counters + per-stage latency histograms
+//	GET  /v1/debug/slowframes     slowest recent frames with their stage
+//	                              breakdown
+//	GET  /healthz                 ok / draining (liveness)
+//	GET  /readyz                  ready / draining (readiness; flips at
+//	                              BeginDrain)
 type Server struct {
 	cfg     Config
 	manager *Manager
 	mux     *http.ServeMux
 	start   time.Time
+	metrics *serveMetrics
 
 	// policies indexes the validated guard policies by name;
 	// policyNames is the sorted /v1/policies listing.
@@ -112,6 +127,13 @@ func NewServer(cfg Config) (*Server, error) {
 			models[name] = Model{Detector: det, Version: "unversioned"}
 		}
 	}
+	// One registry backs the whole server: the manager registers its
+	// per-shard series into it, the server everything else, and GET
+	// /metrics renders it.
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	cfg.Manager.Metrics = cfg.Metrics
 	manager, err := NewManagerModels(models, cfg.Manager)
 	if err != nil {
 		return nil, err
@@ -126,8 +148,10 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg: cfg, manager: manager, start: time.Now(),
+		metrics:  newServeMetrics(cfg.Metrics),
 		policies: policies, policyNames: policyNames,
 	}
+	s.registerMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/mux", s.handleMux)
@@ -137,8 +161,11 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("/v1/incidents", s.handleIncidents)
 	s.mux.HandleFunc("/v1/incidents/", s.handleIncident)
+	s.mux.HandleFunc("/v1/debug/slowframes", s.handleSlowFrames)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.Handle("/metrics", cfg.Metrics.Handler())
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
 }
 
@@ -206,11 +233,25 @@ func (s *Server) Shutdown() {
 	s.cfg.Ledger.Flush()
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// log returns the configured logger, or a discarding one.
+func (s *Server) log() *slog.Logger {
+	if s.cfg.Logger != nil {
+		return s.cfg.Logger
 	}
+	return discardLogger
 }
+
+// discardLogger backs a nil Config.Logger: a handler that drops
+// everything. (log/slog grows a stdlib DiscardHandler in go1.24; this
+// module's language level predates it.)
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
 
 func (s *Server) isDraining() bool {
 	s.mu.RLock()
@@ -322,7 +363,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// shard mailboxes enforce). The idle deadline is re-armed before each
 	// record so a silent client cannot pin its session slot forever.
 	var conn streamConn
+	codecName := "json"
 	if binary {
+		codecName = "binary"
 		conn = newBinStream(r.Body, w, func() { rc.Flush() })
 		s.codec.binaryStreams.Add(1)
 	} else {
@@ -385,6 +428,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Per-frame stage instrumentation: resolved once at admission (the
+	// histogram registrations), fed per frame without allocating.
+	tr := s.metrics.streamTrace(backend, codecName, sess.Version(), policyName,
+		s.manager.cfg.MaxBatch > 1, s.cfg.Ledger != nil)
+
+	// One heap frame reused across the loop: its pointer rides the shard
+	// mailbox, so an in-loop variable would escape and cost an allocation
+	// per frame. Push blocks until the shard replied, so the previous
+	// frame is never still in use when the next record overwrites it.
+	var frame safemon.Frame
 	for {
 		var msg *ClientMsg
 		if pending != nil {
@@ -414,8 +467,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				Message: fmt.Sprintf("frame needs %d values, got %d", frameSize, len(msg.Frame))})
 			return
 		}
-		var frame safemon.Frame
 		copy(frame[:], msg.Frame)
+		tr.setStage(stageDecode, conn.decodeNS())
 		v, err := sess.Push(r.Context(), &frame)
 		if err != nil {
 			healthy = false
@@ -423,19 +476,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			conn.fail(pushError(err))
 			return
 		}
+		// The shard wrote the queue/gather/infer split before replying.
+		tr.setStage(stageQueue, sess.trace.queueNS)
+		tr.setStage(stageGather, sess.trace.gatherNS)
+		tr.setStage(stageInfer, sess.trace.inferNS)
 		frames++
 		wire := WireVerdict(v)
+		t0 := time.Now()
 		rec.Verdict(v, &frame)
+		t1 := time.Now()
+		t2 := t1
 		if sg != nil {
 			// The engine steps on the verdict; an action edge is emitted
 			// immediately before it so a lockstep client sees the action
-			// no later than the verdict that caused it.
+			// no later than the verdict that caused it. The (rare) edge
+			// frame's action emit lands in the guard stage.
 			if act := sg.step(wire); act != nil {
 				rec.Action(sg.decision())
 				conn.action(act)
 			}
+			t2 = time.Now()
 		}
 		conn.verdict(&wire)
+		end := time.Now()
+		tr.setStage(stageLedger, t1.Sub(t0).Nanoseconds())
+		tr.setStage(stageGuard, t2.Sub(t1).Nanoseconds())
+		tr.setStage(stageEncode, end.Sub(t2).Nanoseconds())
+		tr.observe(frames-1, end.UnixNano())
 	}
 }
 

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/safemon"
+	"repro/safemon/obs"
 )
 
 // Backpressure and lifecycle sentinels.
@@ -24,14 +26,27 @@ var (
 	ErrUnknownBackend = errors.New("serve: unknown backend")
 )
 
+// pushTrace carries one frame's shard-side stage timings back to the
+// stream handler: mailbox queue wait, batch gather wait, and inference.
+// The shard goroutine writes it before sending the reply; the handler
+// reads it after receiving the reply, so the reply channel's
+// happens-before edge orders the fields without any atomics.
+type pushTrace struct {
+	queueNS  int64 // enqueue → shard dequeue
+	gatherNS int64 // dequeue → batch dispatch (0 on unbatched shards)
+	inferNS  int64 // dispatch → verdict
+}
+
 // pushTask is one unit of shard work: push a frame through a session and
 // deliver the verdict on reply.
 type pushTask struct {
 	sess  safemon.Session
 	frame *safemon.Frame
 	enq   time.Time
+	deq   time.Time // set by the shard at mailbox receipt
 	reply chan<- pushResult
 	stats *shardStats
+	trace *pushTrace
 }
 
 // pushResult is the outcome of one pushTask.
@@ -76,14 +91,16 @@ func (sh *shard) run(quit <-chan struct{}, wg *sync.WaitGroup) {
 	for {
 		select {
 		case t := <-sh.mailbox:
-			t.run()
+			t.deq = time.Now()
+			t.run(t.deq)
 		case <-quit:
 			// The manager only closes quit once no submits are in
 			// flight, so the mailbox is empty; drain defensively anyway.
 			for {
 				select {
 				case t := <-sh.mailbox:
-					t.run()
+					t.deq = time.Now()
+					t.run(t.deq)
 				default:
 					return
 				}
@@ -101,12 +118,14 @@ func (sh *shard) runBatched(quit <-chan struct{}) {
 	for {
 		select {
 		case t := <-sh.mailbox:
+			t.deq = time.Now()
 			sh.dispatch(sh.gather(t, timer))
 		case <-quit:
 			for {
 				select {
 				case t := <-sh.mailbox:
-					t.run()
+					t.deq = time.Now()
+					t.run(t.deq)
 				default:
 					return
 				}
@@ -124,6 +143,7 @@ func (sh *shard) gather(first pushTask, timer *time.Timer) []pushTask {
 	for len(tasks) < sh.maxBatch {
 		select {
 		case t := <-sh.mailbox:
+			t.deq = time.Now()
 			tasks = append(tasks, t)
 			continue
 		default:
@@ -145,6 +165,7 @@ func (sh *shard) gather(first pushTask, timer *time.Timer) []pushTask {
 	for len(tasks) < sh.maxBatch {
 		select {
 		case t := <-sh.mailbox:
+			t.deq = time.Now()
 			tasks = append(tasks, t)
 		case <-sh.drain:
 			if !timer.Stop() {
@@ -172,8 +193,15 @@ func (sh *shard) gather(first pushTask, timer *time.Timer) []pushTask {
 // shared batched forwards and falls back to Push for the rest; every
 // verdict is bit-identical either way (see safemon/batch.go).
 func (sh *shard) dispatch(tasks []pushTask) {
+	start := time.Now()
 	if len(tasks) == 1 {
-		tasks[0].run()
+		t := &tasks[0]
+		// The deq→start gap is the gather window the lone task waited
+		// through; run's inference measurement starts after it.
+		if t.trace != nil {
+			t.trace.gatherNS = start.Sub(t.deq).Nanoseconds()
+		}
+		t.run(start)
 		return
 	}
 	sessions := sh.sessions[:0]
@@ -192,10 +220,20 @@ func (sh *shard) dispatch(tasks []pushTask) {
 	sh.stats.batches.Add(1)
 	sh.stats.batchedFrames.Add(uint64(len(tasks)))
 	sh.stats.fallbackFrames.Add(uint64(counts.Fallback))
-	for i, t := range tasks {
-		t.stats.latency.observe(time.Since(t.enq))
+	end := time.Now()
+	// The whole dispatch ran as one batched forward: each frame's infer
+	// time is the batch's, its gather wait its own deq→dispatch gap.
+	inferNS := end.Sub(start).Nanoseconds()
+	for i := range tasks {
+		t := &tasks[i]
+		t.stats.latency.Observe(end.Sub(t.enq))
 		if errs[i] == nil {
 			t.stats.frames.Add(1)
+		}
+		if t.trace != nil {
+			t.trace.queueNS = t.deq.Sub(t.enq).Nanoseconds()
+			t.trace.gatherNS = start.Sub(t.deq).Nanoseconds()
+			t.trace.inferNS = inferNS
 		}
 		t.reply <- pushResult{verdict: verdicts[i], err: errs[i]}
 	}
@@ -203,12 +241,20 @@ func (sh *shard) dispatch(tasks []pushTask) {
 }
 
 // run executes the push on the shard goroutine and records its latency
-// (queue wait + inference) in the shard histogram.
-func (t pushTask) run() {
+// (queue wait + inference) in the shard histogram. now is when the
+// shard began executing the task — its dequeue time on unbatched
+// shards, the dispatch start on batched ones (the caller records the
+// dequeue→dispatch gap as gather wait).
+func (t *pushTask) run(now time.Time) {
 	v, err := t.sess.Push(t.frame)
-	t.stats.latency.observe(time.Since(t.enq))
+	end := time.Now()
+	t.stats.latency.Observe(end.Sub(t.enq))
 	if err == nil {
 		t.stats.frames.Add(1)
+	}
+	if t.trace != nil {
+		t.trace.queueNS = t.deq.Sub(t.enq).Nanoseconds()
+		t.trace.inferNS = end.Sub(now).Nanoseconds()
 	}
 	t.reply <- pushResult{verdict: v, err: err}
 }
@@ -236,6 +282,11 @@ type ManagerConfig struct {
 	// dispatches immediately. <= 0 with MaxBatch > 1 means 250µs, well
 	// under a 30 Hz frame period.
 	BatchWindow time.Duration
+	// Metrics receives the manager's per-shard counters and latency
+	// histograms (and, under a Server, everything else the service
+	// exports at /metrics). Nil mints a private registry. A registry
+	// must not be shared between managers: series names would collide.
+	Metrics *obs.Registry
 }
 
 // WithMaxBatch returns the config with the micro-batch cap set (chainable).
@@ -268,6 +319,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.MaxBatch > 1 && c.BatchWindow <= 0 {
 		c.BatchWindow = 250 * time.Microsecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	return c
 }
@@ -340,11 +394,38 @@ func NewManagerModels(models map[string]Model, cfg ManagerConfig) (*Manager, err
 		if sh.maxBatch > 1 {
 			sh.batcher = safemon.NewBatcher(sh.maxBatch)
 		}
+		registerShardMetrics(cfg.Metrics, &sh.stats, i)
 		m.shards[i] = sh
 		m.wg.Add(1)
 		go sh.run(m.quit, &m.wg)
 	}
 	return m, nil
+}
+
+// registerShardMetrics binds one shard's counters into the registry:
+// the latency histogram is registry-owned (so /metrics renders the very
+// bucket array /stats quantiles read), the counters are exported as
+// read-functions over the shard's existing atomics.
+func registerShardMetrics(reg *obs.Registry, st *shardStats, i int) {
+	shard := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+	st.latency = reg.Histogram("safemon_frame_latency_seconds",
+		"End-to-end submit-to-verdict frame latency (mailbox wait + gather + inference).", shard)
+	reg.CounterFunc("safemon_frames_total",
+		"Frames pushed through sessions.", st.frames.Load, shard)
+	reg.CounterFunc("safemon_sessions_opened_total",
+		"Streams admitted to the shard.", st.sessionsOpened.Load, shard)
+	reg.CounterFunc("safemon_sessions_closed_total",
+		"Streams released from the shard (opened - closed = active).", st.sessionsClosed.Load, shard)
+	reg.CounterFunc("safemon_queue_full_total",
+		"Frame submits rejected by mailbox backpressure.", st.queueFull.Load, shard)
+	reg.CounterFunc("safemon_batches_total",
+		"Multi-session micro-batch dispatches.", st.batches.Load, shard)
+	reg.CounterFunc("safemon_batched_frames_total",
+		"Frames carried by micro-batch dispatches.", st.batchedFrames.Load, shard)
+	reg.CounterFunc("safemon_batch_window_timeouts_total",
+		"Batch gathers dispatched on window expiry.", st.windowTimeouts.Load, shard)
+	reg.CounterFunc("safemon_batch_fallback_frames_total",
+		"Batched frames routed via per-stream Push.", st.fallbackFrames.Load, shard)
 }
 
 // Session is one stream attached to the manager: a pooled safemon session
@@ -357,6 +438,10 @@ type Session struct {
 	reply   chan pushResult
 	version string
 	done    bool
+	// trace receives the most recent Push's shard-side stage timings;
+	// valid after a successful Push until the next one (single-caller,
+	// like Push itself).
+	trace pushTrace
 }
 
 // Version reports the model version the session was bound to at Open
@@ -448,7 +533,8 @@ func (s *Session) Push(ctx context.Context, frame *safemon.Frame) (safemon.Frame
 	m.mu.RUnlock()
 	defer m.inflight.Done()
 
-	t := pushTask{sess: s.sess, frame: frame, enq: time.Now(), reply: s.reply, stats: &s.shard.stats}
+	s.trace = pushTrace{}
+	t := pushTask{sess: s.sess, frame: frame, enq: time.Now(), reply: s.reply, stats: &s.shard.stats, trace: &s.trace}
 	select {
 	case s.shard.mailbox <- t:
 	default:
@@ -486,6 +572,7 @@ func (s *Session) Release(healthy bool) {
 	}
 	s.done = true
 	s.shard.stats.sessionsActive.Add(-1)
+	s.shard.stats.sessionsClosed.Add(1)
 	s.m.active.Add(-1)
 	if healthy {
 		s.pool.Put(s.sess)

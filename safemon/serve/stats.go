@@ -2,78 +2,26 @@ package serve
 
 import (
 	"math"
-	"math/bits"
 	"sync/atomic"
 	"time"
 
 	"repro/safemon/ledger"
+	"repro/safemon/obs"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i
 // counts latencies in [2^i, 2^(i+1)) nanoseconds, covering sub-microsecond
-// pushes up to multi-second stalls.
-const histBuckets = 36
-
-// latencyHist is a lock-free log2 histogram of per-frame latencies. The
-// shard goroutine observes; /stats readers snapshot concurrently.
-type latencyHist struct {
-	counts [histBuckets]atomic.Uint64
-}
-
-// observe records one latency sample.
-func (h *latencyHist) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 1 {
-		ns = 1
-	}
-	i := bits.Len64(uint64(ns)) - 1
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.counts[i].Add(1)
-}
-
-// load snapshots the bucket counts.
-func (h *latencyHist) load() [histBuckets]uint64 {
-	var counts [histBuckets]uint64
-	for i := range counts {
-		counts[i] = h.counts[i].Load()
-	}
-	return counts
-}
+// pushes up to multi-second stalls. The layout is obs.Histogram's, so the
+// same bucket array backs both the /stats quantiles and the /metrics
+// exposition — the two surfaces cannot drift.
+const histBuckets = obs.LogBuckets
 
 // quantileOf returns the q-th (0..1) latency quantile of a bucket-count
-// snapshot in milliseconds; NaN when empty.
-//
-// The rank is located in its bucket and then interpolated log-linearly
-// within the bucket's [2^i, 2^(i+1)) span, assuming samples spread evenly
-// across it in log space. Resolving to the bucket's upper bound instead
-// (as this function once did) over-reports every quantile by up to 2×:
-// a single sample near 2^i would be reported as 2^(i+1). With the
-// half-sample midpoint convention a lone sample resolves to 2^(i+0.5),
-// the geometric mean of the bucket bounds.
+// snapshot in milliseconds; NaN when empty. The interpolation itself —
+// half-sample midpoint, log-linear within the bucket — is
+// obs.LogQuantileNS, the single shared implementation.
 func quantileOf(counts [histBuckets]uint64, q float64) float64 {
-	var total uint64
-	for _, c := range counts {
-		total += c
-	}
-	if total == 0 {
-		return math.NaN()
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var cum uint64
-	for i, c := range counts {
-		cum += c
-		if cum > rank {
-			pos := float64(rank-(cum-c)) + 0.5
-			frac := pos / float64(c)
-			return math.Exp2(float64(i)+frac) / 1e6
-		}
-	}
-	return math.NaN()
+	return obs.LogQuantileNS(counts[:], q) / 1e6
 }
 
 // shardStats aggregates one shard's counters. All fields are atomics: the
@@ -82,8 +30,12 @@ type shardStats struct {
 	frames         atomic.Uint64 // frames pushed through sessions
 	sessionsOpened atomic.Uint64 // streams admitted to this shard
 	sessionsActive atomic.Int64  // streams currently attached
+	sessionsClosed atomic.Uint64 // streams released (opened - closed = active)
 	queueFull      atomic.Uint64 // submits rejected by backpressure
-	latency        latencyHist   // submit-to-verdict latency (queue + push)
+	// latency is the submit-to-verdict histogram (queue + push). It is a
+	// registry-owned obs.Histogram so /metrics renders the exact bucket
+	// array the /stats quantiles are computed from.
+	latency *obs.Histogram
 
 	// Micro-batching counters (zero on unbatched shards). A "batch" is one
 	// multi-task dispatch; singletons take the per-task path and are not
@@ -193,7 +145,7 @@ func (m *Manager) snapshot(backends []string, uptime time.Duration) StatsSnapsho
 	for i := range m.shards {
 		st := &m.shards[i].stats
 		frames := st.frames.Load()
-		counts := st.latency.load()
+		counts := st.latency.Counts()
 		row := ShardSnapshot{
 			Shard:          i,
 			Frames:         frames,

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/safemon/obs"
 )
 
 // TestQuantileOf pins the log-linear in-bucket interpolation. The old
@@ -94,16 +96,16 @@ func TestQuantileOf(t *testing.T) {
 // TestQuantileMonotonic checks quantiles never decrease in q and every
 // reported value lies inside its sample range.
 func TestQuantileMonotonic(t *testing.T) {
-	var h latencyHist
+	var h obs.Histogram
 	durations := []time.Duration{
 		800 * time.Nanosecond, 2 * time.Microsecond, 5 * time.Microsecond,
 		40 * time.Microsecond, 40 * time.Microsecond, 300 * time.Microsecond,
 		2 * time.Millisecond, 100 * time.Millisecond,
 	}
 	for _, d := range durations {
-		h.observe(d)
+		h.Observe(d)
 	}
-	counts := h.load()
+	counts := h.Counts()
 	prev := 0.0
 	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
 		v := quantileOf(counts, q)

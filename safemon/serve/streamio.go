@@ -17,6 +17,10 @@ import (
 type streamConn interface {
 	// next decodes the next client record (labels header or frame).
 	next(msg *ClientMsg) error
+	// decodeNS reports the parse time of the most recent next — just
+	// the record decode, excluding the network wait — for the decode
+	// stage histogram.
+	decodeNS() int64
 	verdict(v *VerdictMsg)
 	action(a *ActionMsg)
 	done(frames int)
@@ -37,6 +41,7 @@ func newJSONStream(r io.Reader, w io.Writer, flush func()) *jsonStream {
 }
 
 func (c *jsonStream) next(msg *ClientMsg) error { return c.dec.next(msg) }
+func (c *jsonStream) decodeNS() int64           { return c.dec.decNS }
 
 func (c *jsonStream) emit(m ServerMsg) {
 	if err := c.enc.Encode(m); err != nil {
@@ -84,6 +89,8 @@ func (c *binStream) next(msg *ClientMsg) error {
 		return fmt.Errorf("unexpected %s record on a stream connection", binTypeName(rec.Type))
 	}
 }
+
+func (c *binStream) decodeNS() int64 { return c.r.decNS }
 
 func (c *binStream) emit(rec *BinaryRecord) {
 	if err := c.w.emit(rec); err != nil {

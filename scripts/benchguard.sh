@@ -8,9 +8,10 @@
 # (BenchmarkSessionStepLedgered), and the B=16 cross-session micro-batch
 # path (BenchmarkBatchedStep) — plus the guard policy engine's
 # BenchmarkGuardStep, the event ledger's emit path
-# (BenchmarkLedgerAppend) and the binary wire codec's encode+decode
-# round trip (BenchmarkCodecRoundTrip, binary subs only), and enforces
-# two budgets:
+# (BenchmarkLedgerAppend), the binary wire codec's encode+decode
+# round trip (BenchmarkCodecRoundTrip, binary subs only), and the
+# instrumented serve warm path with stage telemetry enabled
+# (BenchmarkServeStreamWarm), and enforces two budgets:
 #
 #   1. allocs/op must be 0 on every repeat of every sub-benchmark: the
 #      zero-allocation guarantee README's Performance section documents
@@ -75,11 +76,21 @@ codecout="$("$GO" test -run='^$' -bench='^BenchmarkCodecRoundTrip$/^binary' \
 	echo "benchguard: codec benchmark run failed" >&2
 	exit 1
 }
+# The instrumented serve warm path (PR 10): the full per-frame handler
+# loop — decode, shard push, ledger emit, guard step, encode — with the
+# stage-histogram and slow-ring telemetry enabled must stay 0 allocs/op.
+warmout="$("$GO" test -run='^$' -bench='^BenchmarkServeStreamWarm$' \
+	-benchtime="$BENCHTIME" -count="$BENCHCOUNT" -benchmem ./safemon/serve/)" || {
+	echo "$warmout"
+	echo "benchguard: serve warm-path benchmark run failed" >&2
+	exit 1
+}
 out="$out
 $batchout
 $guardout
 $ledgerout
-$codecout"
+$codecout
+$warmout"
 echo "$out"
 
 # Benchmark lines look like:
@@ -96,7 +107,7 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 		}
 		close(baseline)
 	}
-	/^Benchmark(SessionStep|BatchedStep|GuardStep|LedgerAppend|CodecRoundTrip)/ {
+	/^Benchmark(SessionStep|BatchedStep|GuardStep|LedgerAppend|CodecRoundTrip|ServeStreamWarm)/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
 		if ($(NF-1) + 0 > 0) {
@@ -141,4 +152,4 @@ echo "$out" | awk -v baseline="$baseline" -v scale="$BENCHGUARD_NSOP_SCALE" '
 	echo "benchguard: hot-path budget exceeded (allocs/op or median ns/op)" >&2
 	exit 1
 }
-echo "benchguard: all session-step, batched-step, guard-step, ledger-append and codec round-trip benchmarks within the 0 allocs/op and median ns/op budgets"
+echo "benchguard: all session-step, batched-step, guard-step, ledger-append, codec round-trip and serve warm-path benchmarks within the 0 allocs/op and median ns/op budgets"

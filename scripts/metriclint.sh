@@ -1,0 +1,61 @@
+#!/bin/sh
+# metriclint: static lint for the /metrics namespace.
+#
+# Two rules, both enforced over the serving layer (safemon/serve), the
+# daemon (cmd/), README.md, and the exposition golden file:
+#
+#   1. Naming: every registered metric family must be safemon_-prefixed
+#      and end in _total, _seconds or _bytes (the repo-wide suffix
+#      discipline; gauges deliberately keep _total where they mirror a
+#      /stats counter pair — the TYPE line disambiguates).
+#   2. No phantom metrics: every safemon_* name mentioned anywhere —
+#      tests, docs, the golden file — must correspond to a family a
+#      registration call (Counter/Gauge/Histogram/CounterFunc/GaugeFunc/
+#      GaugeCollector) actually creates, so documentation and dashboards
+#      cannot drift from the registry. Histogram sample suffixes
+#      (_bucket/_sum/_count) are folded back onto their family first.
+#
+# The generic safemon/obs package is out of scope: its tests exercise
+# the registry with deliberately arbitrary names.
+#
+# Run via `make metriclint` (or `make ci`, which includes it).
+set -eu
+cd "$(dirname "$0")/.."
+
+name_re='safemon_[a-z0-9_]+'
+suffix_re='_(total|seconds|bytes)$'
+
+# Families created by a registration call in code.
+registered="$(grep -rhoE "\.(Counter|Gauge|Histogram|CounterFunc|GaugeFunc|GaugeCollector)\(\"$name_re\"" \
+	--include='*.go' safemon/serve cmd | grep -oE "$name_re" | sort -u)"
+
+if [ -z "$registered" ]; then
+	echo "metriclint: found no metric registrations — the grep is broken" >&2
+	exit 1
+fi
+
+bad=0
+
+# Rule 1: registered family names obey the suffix discipline.
+for fam in $registered; do
+	if ! printf '%s\n' "$fam" | grep -qE "$suffix_re"; then
+		echo "metriclint: registered metric $fam lacks a _total/_seconds/_bytes suffix" >&2
+		bad=1
+	fi
+done
+
+# Rule 2: every mentioned name resolves to a registered family.
+mentioned="$(grep -rhoE "$name_re" --include='*.go' safemon/serve cmd README.md \
+	safemon/serve/testdata/metrics.golden 2>/dev/null |
+	sed -E 's/_(bucket|sum|count)$//' | sort -u)"
+for fam in $mentioned; do
+	if ! printf '%s\n' "$registered" | grep -qxF "$fam"; then
+		echo "metriclint: $fam is mentioned but never registered (typo, or register it)" >&2
+		bad=1
+	fi
+done
+
+if [ "$bad" -ne 0 ]; then
+	exit 1
+fi
+echo "metriclint: $(printf '%s\n' "$registered" | wc -l | tr -d ' ') families ok"
